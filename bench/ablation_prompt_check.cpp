@@ -1,0 +1,39 @@
+// Ablation: how much does FREQUENT promptness checking matter, and what
+// does it cost? Sweeps PromptScheduler's check period (1 = the paper's
+// "every spawn/sync/fut_create/get"; larger = rarer; 0 = never, i.e. the
+// work-first principle kept intact) on the job server, reporting the
+// high-priority (mm) tail latency it buys and the throughput it costs.
+//
+// Expected shape (Section 5): checking at every op barely changes total
+// running time but collapses high-priority latency; with checks off, mm
+// waits behind whatever low-priority work the workers grabbed first.
+#include "bench/op_trials.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icilk;
+  using namespace icilk::bench;
+  using apps::JobType;
+
+  const double duration = (argc > 1) ? std::atof(argv[1]) : 2.0;
+
+  print_header("Ablation: promptness check period (job server, 230 rps)",
+               "check_period  mm_p95(ms)  mm_p99(ms)  sw_p99(ms)"
+               "  abandons  work(s)");
+  for (const int period : {1, 8, 64, 0}) {
+    PromptScheduler::Options opts;
+    opts.check_period = period;
+    OpTrialOptions topt;
+    topt.rps = 230;
+    topt.duration_s = duration;
+    auto r = run_job_trial(
+        [&opts] { return std::make_unique<PromptScheduler>(opts); }, topt);
+    const auto& mm = r.hist[static_cast<std::size_t>(JobType::Mm)];
+    const auto& sw = r.hist[static_cast<std::size_t>(JobType::Sw)];
+    std::printf("%-13d %-11.3f %-11.3f %-10.3f %-9llu %.3f\n", period,
+                ms(mm.percentile_ns(0.95)), ms(mm.percentile_ns(0.99)),
+                ms(sw.percentile_ns(0.99)),
+                static_cast<unsigned long long>(r.sched_stats.abandons),
+                r.sched_stats.work_s);
+  }
+  return 0;
+}

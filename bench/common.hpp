@@ -1,0 +1,206 @@
+// Shared infrastructure for the figure-reproduction benches.
+//
+// Every bench binary prints self-describing rows (scheduler, load point,
+// percentiles) so EXPERIMENTS.md can quote them directly. Trials are kept
+// short (seconds) because this reproduction runs on a single core — see
+// DESIGN.md for how that scales the paper's load points down.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/memcached/icilk_server.hpp"
+#include "apps/memcached/pthread_server.hpp"
+#include "core/adaptive_scheduler.hpp"
+#include "core/prompt_scheduler.hpp"
+#include "load/histogram.hpp"
+#include "load/mc_client.hpp"
+#include "load/openloop.hpp"
+
+namespace icilk::bench {
+
+using SchedFactory = std::function<std::unique_ptr<Scheduler>()>;
+
+struct SchedConfig {
+  std::string name;    ///< row label, e.g. "adaptive(q=2ms,u=0.5)"
+  std::string family;  ///< "prompt", "adaptive", "adaptive+aging", ...
+  SchedFactory make;
+};
+
+inline SchedConfig prompt_config() {
+  return {"prompt", "prompt",
+          [] { return std::make_unique<PromptScheduler>(); }};
+}
+
+/// The runtime-parameter sets swept for the Adaptive variants, mirroring
+/// the paper's "N different sets of parameters" methodology.
+inline std::vector<AdaptiveScheduler::Params> adaptive_param_sweep() {
+  std::vector<AdaptiveScheduler::Params> sweep;
+  for (const int quantum_us : {1000, 8000}) {
+    for (const double thresh : {0.4, 0.8}) {
+      AdaptiveScheduler::Params p;
+      p.quantum_us = quantum_us;
+      p.util_threshold = thresh;
+      p.ramp = 1;
+      sweep.push_back(p);
+    }
+  }
+  return sweep;
+}
+
+inline std::string adaptive_label(const char* family,
+                                  const AdaptiveScheduler::Params& p) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s(q=%dus,u=%.1f)", family, p.quantum_us,
+                p.util_threshold);
+  return buf;
+}
+
+inline std::vector<SchedConfig> adaptive_configs(
+    AdaptiveScheduler::Variant v, const char* family,
+    const std::vector<AdaptiveScheduler::Params>& sweep) {
+  std::vector<SchedConfig> out;
+  for (const auto& p : sweep) {
+    out.push_back({adaptive_label(family, p), family,
+                   [v, p] { return std::make_unique<AdaptiveScheduler>(v, p); }});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Memcached trials
+// ---------------------------------------------------------------------------
+
+struct McTrialOptions {
+  double rps = 2000;
+  double duration_s = 3.0;
+  int server_workers = 4;
+  int io_threads = 2;
+  int client_connections = 64;
+  int keyspace = 1024;
+  std::uint64_t seed = 1;
+  /// Census sampling (Figure 2): period in us; 0 disables.
+  int census_sample_us = 0;
+};
+
+struct McTrialResult {
+  load::Histogram hist;
+  StatsSnapshot sched_stats;     ///< icilk runs only
+  double census_avg = 0;         ///< avg non-empty deques at conn priority
+  std::size_t completed = 0;
+  std::uint64_t client_errors = 0;
+};
+
+/// One open-loop trial against the I-Cilk frontend under `sched`.
+inline McTrialResult run_mc_trial_icilk(const SchedFactory& make_sched,
+                                        const McTrialOptions& opt) {
+  McTrialResult res;
+  apps::ICilkMcServer::Config cfg;
+  cfg.rt.num_workers = opt.server_workers;
+  cfg.rt.num_io_threads = opt.io_threads;
+  cfg.rt.num_levels = 2;
+  apps::ICilkMcServer server(cfg, make_sched());
+
+  load::McClient::Config ccfg;
+  ccfg.port = static_cast<std::uint16_t>(server.port());
+  ccfg.connections = opt.client_connections;
+  ccfg.keyspace = opt.keyspace;
+  ccfg.seed = opt.seed;
+  load::McClient client(ccfg);
+  if (!client.setup()) {
+    std::fprintf(stderr, "mc trial: client setup failed\n");
+    return res;
+  }
+
+  // Census sampler (Figure 2): average non-empty deques at the connection
+  // priority over the run.
+  std::atomic<bool> sampling{opt.census_sample_us > 0};
+  double census_sum = 0;
+  std::uint64_t census_n = 0;
+  std::thread sampler;
+  if (opt.census_sample_us > 0) {
+    sampler = std::thread([&] {
+      while (sampling.load(std::memory_order_acquire)) {
+        census_sum += static_cast<double>(
+            server.runtime().census(cfg.conn_priority));
+        ++census_n;
+        ::usleep(static_cast<useconds_t>(opt.census_sample_us));
+      }
+    });
+  }
+
+  server.runtime().reset_time_stats();
+  const auto arrivals =
+      load::poisson_schedule(opt.rps, opt.duration_s, opt.seed);
+  res.completed = client.run(arrivals, res.hist);
+  res.client_errors = client.errors();
+  res.sched_stats = server.runtime().stats_snapshot();
+  if (sampler.joinable()) {
+    sampling.store(false, std::memory_order_release);
+    sampler.join();
+    res.census_avg = census_n ? census_sum / static_cast<double>(census_n) : 0;
+  }
+  server.stop();
+  return res;
+}
+
+/// Same trial against the pthread baseline.
+inline McTrialResult run_mc_trial_pthread(const McTrialOptions& opt) {
+  McTrialResult res;
+  apps::PthreadMcServer::Config cfg;
+  cfg.num_workers = opt.server_workers;
+  apps::PthreadMcServer server(cfg);
+
+  load::McClient::Config ccfg;
+  ccfg.port = static_cast<std::uint16_t>(server.port());
+  ccfg.connections = opt.client_connections;
+  ccfg.keyspace = opt.keyspace;
+  ccfg.seed = opt.seed;
+  load::McClient client(ccfg);
+  if (!client.setup()) {
+    std::fprintf(stderr, "mc trial: client setup failed\n");
+    return res;
+  }
+  const auto arrivals =
+      load::poisson_schedule(opt.rps, opt.duration_s, opt.seed);
+  res.completed = client.run(arrivals, res.hist);
+  res.client_errors = client.errors();
+  server.stop();
+  return res;
+}
+
+/// Repeats a trial and keeps the run with the lower p99. On a single
+/// oversubscribed core, OS interference occasionally inflates one run by
+/// 10x; min-filtering applies the same optimism to every scheduler.
+template <typename F>
+McTrialResult best_of(int reps, F&& runner) {
+  McTrialResult best;
+  for (int i = 0; i < reps; ++i) {
+    McTrialResult r = runner();
+    if (best.completed == 0 ||
+        (r.completed > 0 &&
+         r.hist.percentile_ns(0.99) < best.hist.percentile_ns(0.99))) {
+      best = std::move(r);
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Output helpers
+// ---------------------------------------------------------------------------
+
+inline void print_header(const char* title, const char* cols) {
+  std::printf("\n=== %s ===\n%s\n", title, cols);
+}
+
+inline double ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace icilk::bench

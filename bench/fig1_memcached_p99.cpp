@@ -1,0 +1,65 @@
+// Figure 1: Memcached 99th-percentile latency vs. offered load (RPS) for
+// the pthreaded implementation, Adaptive I-Cilk (best parameter set per
+// RPS, per the paper's sweep methodology), and Prompt I-Cilk.
+//
+// Paper's shape: Adaptive I-Cilk sits far above the other two across the
+// whole load range; Prompt I-Cilk tracks (and at high load beats) pthreads.
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icilk;
+  using namespace icilk::bench;
+
+  const double duration = (argc > 1) ? std::atof(argv[1]) : 1.5;
+  const std::vector<double> rps_points = {2000, 6000, 10000, 14000};
+  // A compact sweep keeps this figure quick; fig3 runs the full one.
+  std::vector<AdaptiveScheduler::Params> sweep;
+  for (const int q : {1000, 8000}) {
+    AdaptiveScheduler::Params p;
+    p.quantum_us = q;
+    p.util_threshold = 0.6;
+    sweep.push_back(p);
+  }
+
+  print_header("Figure 1: Memcached p99 latency vs RPS",
+               "scheduler            rps      p99(ms)   p95(ms)   n        err");
+  auto row = [](const std::string& name, double rps,
+                const McTrialResult& r) {
+    std::printf("%-20s %-8.0f %-9.3f %-9.3f %-8zu %llu\n", name.c_str(), rps,
+                ms(r.hist.percentile_ns(0.99)), ms(r.hist.percentile_ns(0.95)),
+                r.completed,
+                static_cast<unsigned long long>(r.client_errors));
+  };
+
+  for (const double rps : rps_points) {
+    McTrialOptions opt;
+    opt.rps = rps;
+    opt.duration_s = duration;
+    opt.client_connections = 300;
+
+    row("pthread", rps, best_of(2, [&] { return run_mc_trial_pthread(opt); }));
+    row("prompt", rps, best_of(2, [&] {
+      return run_mc_trial_icilk(prompt_config().make, opt);
+    }));
+
+    // Adaptive: best p99 across the parameter sweep (paper methodology).
+    McTrialResult best;
+    std::string best_label;
+    for (const auto& p : sweep) {
+      auto r = run_mc_trial_icilk(
+          [&p] {
+            return std::make_unique<AdaptiveScheduler>(
+                AdaptiveScheduler::Variant::Adaptive, p);
+          },
+          opt);
+      if (best.completed == 0 || r.hist.percentile_ns(0.99) <
+                                     best.hist.percentile_ns(0.99)) {
+        best = std::move(r);
+        best_label = adaptive_label("adaptive", p);
+      }
+    }
+    row("adaptive[best]", rps, best);
+    std::printf("    (best adaptive params: %s)\n", best_label.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 2: average number of non-empty deques (per quantum) when running
+// the Memcached server on Adaptive I-Cilk, across server loads.
+//
+// Paper's shape: hundreds of non-empty deques even at low load, growing
+// with RPS — the observation motivating Prompt I-Cilk's "manage many
+// deques cheaply instead of randomizing" design (Section 3).
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icilk;
+  using namespace icilk::bench;
+
+  const double duration = (argc > 1) ? std::atof(argv[1]) : 2.0;
+  const std::vector<double> rps_points = {2000, 6000, 10000, 14000};
+
+  AdaptiveScheduler::Params p;  // one representative parameter set
+  p.quantum_us = 2000;
+  p.util_threshold = 0.6;
+
+  print_header(
+      "Figure 2: avg non-empty deques per quantum, Memcached on Adaptive",
+      "rps      avg_nonempty_deques   deques_created   suspensions");
+  for (const double rps : rps_points) {
+    McTrialOptions opt;
+    opt.rps = rps;
+    opt.duration_s = duration;
+    opt.client_connections = 600;  // the paper drives 600 clients
+    opt.census_sample_us = p.quantum_us;
+    auto r = run_mc_trial_icilk(
+        [&p] {
+          return std::make_unique<AdaptiveScheduler>(
+              AdaptiveScheduler::Variant::Adaptive, p);
+        },
+        opt);
+    std::printf("%-8.0f %-21.1f %-16llu %llu\n", rps, r.census_avg,
+                static_cast<unsigned long long>(r.sched_stats.deques_created),
+                static_cast<unsigned long long>(r.sched_stats.gets_suspended));
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 5: email server latencies per operation (send > sort > {comp,
+// print}) for Prompt I-Cilk and the Adaptive variants (best parameter set
+// each), at three loads. Top row of the paper's figure = p95/p99; bottom
+// row = mean/median — all four are printed here.
+//
+// Paper's shape: at p95/p99 Prompt wins; at the median the Adaptive
+// variants can win at low load and at the lowest-priority op, while
+// Prompt's MEAN stays better or comparable (lower variance). Aging
+// matters only at the highest load, where low-priority deques pile up.
+#include "bench/op_trials.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icilk;
+  using namespace icilk::bench;
+  using apps::EmailOp;
+
+  const double duration = (argc > 1) ? std::atof(argv[1]) : 2.0;
+  // The paper's 6K/12K/18K RPS scaled to one core.
+  const std::vector<double> loads = {4000, 10000, 20000};
+  auto sweep = adaptive_param_sweep();
+  sweep.resize(3);  // paper: email used 3 parameter sets
+
+  struct Variant {
+    const char* family;
+    AdaptiveScheduler::Variant v;
+  };
+  const Variant variants[] = {
+      {"adaptive", AdaptiveScheduler::Variant::Adaptive},
+      {"adaptive+aging", AdaptiveScheduler::Variant::PlusAging},
+      {"adaptive-greedy", AdaptiveScheduler::Variant::Greedy},
+  };
+
+  print_header("Figure 5: email server latency by op",
+               "rps    scheduler                 op     p95(ms)   p99(ms)"
+               "   mean(ms)  p50(ms)   n");
+
+  for (const double rps : loads) {
+    OpTrialOptions opt;
+    opt.rps = rps;
+    opt.duration_s = duration;
+
+    auto print_rows = [&](const char* name, const OpTrialResult& r) {
+      for (int i = 0; i < apps::kEmailOpCount; ++i) {
+        const auto& h = r.hist[static_cast<std::size_t>(i)];
+        std::printf("%-6.0f %-25s %-6s %-9.3f %-9.3f %-9.3f %-9.3f %llu\n",
+                    rps, name,
+                    apps::email_op_name(static_cast<EmailOp>(i)),
+                    ms(h.percentile_ns(0.95)), ms(h.percentile_ns(0.99)),
+                    h.mean_ns() / 1e6, ms(h.percentile_ns(0.50)),
+                    static_cast<unsigned long long>(h.count()));
+      }
+    };
+
+    print_rows("prompt", run_email_trial(prompt_config().make, opt));
+
+    for (const auto& var : variants) {
+      OpTrialResult best;
+      double best_score = 1e300;
+      std::string best_label = "?";
+      for (const auto& p : sweep) {
+        auto r = run_email_trial(
+            [&var, &p] {
+              return std::make_unique<AdaptiveScheduler>(var.v, p);
+            },
+            opt);
+        const double score = sweep_score(r, apps::kEmailOpCount);
+        if (score < best_score) {
+          best_score = score;
+          best = std::move(r);
+          best_label = adaptive_label(var.family, p);
+        }
+      }
+      print_rows(best_label.c_str(), best);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

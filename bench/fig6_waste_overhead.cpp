@@ -1,0 +1,68 @@
+// Section 5 "Waste and Scheduling Overhead" (the paper's final figure):
+// per-benchmark RUNNING time (useful work + scheduling overhead) and WASTE
+// (failed work-search, and for Prompt also sleep/wake costs), for Adaptive
+// I-Cilk vs Prompt I-Cilk, across all three applications.
+//
+// Paper's shape: Prompt incurs slightly higher running time (the frequent
+// bitfield/queue checks) but makes up for it with much lower waste —
+// especially on the job server; the email server is Prompt's worst case
+// for waste (bursty low-parallelism tasks), yet the savings still
+// outweigh Adaptive.
+#include "bench/op_trials.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icilk;
+  using namespace icilk::bench;
+
+  const double duration = (argc > 1) ? std::atof(argv[1]) : 2.0;
+
+  AdaptiveScheduler::Params ap;  // representative parameter set
+  ap.quantum_us = 2000;
+  ap.util_threshold = 0.6;
+  const SchedConfig scheds[] = {
+      prompt_config(),
+      {"adaptive", "adaptive",
+       [ap] {
+         return std::make_unique<AdaptiveScheduler>(
+             AdaptiveScheduler::Variant::Adaptive, ap);
+       }},
+  };
+
+  print_header("Figure 6: waste and scheduling overhead",
+               "benchmark   scheduler   work(s)   sched(s)  running(s)"
+               " waste(s)  steals   mugs     failed_probes  sleeps");
+  auto row = [](const char* benchname, const char* sched,
+                const StatsSnapshot& s) {
+    std::printf(
+        "%-11s %-11s %-9.3f %-9.3f %-10.3f %-9.3f %-8llu %-8llu %-14llu "
+        "%llu\n",
+        benchname, sched, s.work_s, s.sched_s, s.work_s + s.sched_s,
+        s.waste_s, static_cast<unsigned long long>(s.steals),
+        static_cast<unsigned long long>(s.mugs),
+        static_cast<unsigned long long>(s.failed_probes),
+        static_cast<unsigned long long>(s.sleeps));
+  };
+
+  for (const auto& sc : scheds) {
+    McTrialOptions mopt;
+    mopt.rps = 6000;
+    mopt.duration_s = duration;
+    auto mr = run_mc_trial_icilk(sc.make, mopt);
+    row("memcached", sc.name.c_str(), mr.sched_stats);
+  }
+  for (const auto& sc : scheds) {
+    OpTrialOptions jopt;
+    jopt.rps = 150;
+    jopt.duration_s = duration;
+    auto jr = run_job_trial(sc.make, jopt);
+    row("job", sc.name.c_str(), jr.sched_stats);
+  }
+  for (const auto& sc : scheds) {
+    OpTrialOptions eopt;
+    eopt.rps = 4000;
+    eopt.duration_s = duration;
+    auto er = run_email_trial(sc.make, eopt);
+    row("email", sc.name.c_str(), er.sched_stats);
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Micro-benchmark: the FAA FIFO queue vs a mutex-protected deque — the
+// data-structure choice behind the centralized pool (DESIGN.md ablation).
+// Also measures the raw cost of the pool operations a thief performs.
+#include <benchmark/benchmark.h>
+
+#include <deque>
+#include <mutex>
+
+#include "concurrent/faa_queue.hpp"
+
+namespace {
+
+struct Node {
+  int v;
+};
+
+void BM_FaaQueuePushPop(benchmark::State& state) {
+  static icilk::FaaQueue<Node>* q = nullptr;
+  if (state.thread_index() == 0) q = new icilk::FaaQueue<Node>();
+  Node n{1};
+  for (auto _ : state) {
+    q->push(&n);
+    benchmark::DoNotOptimize(q->pop());
+  }
+  if (state.thread_index() == 0) {
+    delete q;
+    q = nullptr;
+  }
+}
+BENCHMARK(BM_FaaQueuePushPop)->Threads(1)->Threads(2)->Threads(4)->Threads(8);
+
+void BM_MutexQueuePushPop(benchmark::State& state) {
+  static std::mutex* mu = nullptr;
+  static std::deque<Node*>* q = nullptr;
+  if (state.thread_index() == 0) {
+    mu = new std::mutex();
+    q = new std::deque<Node*>();
+  }
+  Node n{1};
+  for (auto _ : state) {
+    {
+      std::lock_guard<std::mutex> g(*mu);
+      q->push_back(&n);
+    }
+    Node* out = nullptr;
+    {
+      std::lock_guard<std::mutex> g(*mu);
+      if (!q->empty()) {
+        out = q->front();
+        q->pop_front();
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  if (state.thread_index() == 0) {
+    delete q;
+    delete mu;
+    q = nullptr;
+    mu = nullptr;
+  }
+}
+BENCHMARK(BM_MutexQueuePushPop)->Threads(1)->Threads(2)->Threads(4)->Threads(8);
+
+void BM_FaaQueueEmptyCheck(benchmark::State& state) {
+  icilk::FaaQueue<Node> q;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.empty());
+  }
+}
+BENCHMARK(BM_FaaQueueEmptyCheck);
+
+void BM_FaaQueueSegmentCrossing(benchmark::State& state) {
+  // Sustained flow through segments exercises allocation + EBR retirement.
+  icilk::FaaQueue<Node> q;
+  Node n{1};
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.push(&n);
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_FaaQueueSegmentCrossing);
+
+}  // namespace
+
+BENCHMARK_MAIN();

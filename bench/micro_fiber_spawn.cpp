@@ -1,0 +1,99 @@
+// Micro-benchmark: the primitive costs the scheduler design trades in —
+// raw fiber context switches, spawn/sync round trips (the work-first-
+// principle currency), future create/get, and the promptness check.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "concurrent/bitfield.hpp"
+#include "core/api.hpp"
+#include "core/prompt_scheduler.hpp"
+#include "core/runtime.hpp"
+#include "fiber/fiber.hpp"
+
+namespace {
+
+using namespace icilk;
+
+void BM_RawContextSwitch(benchmark::State& state) {
+  Context main_ctx;
+  Fiber fib{Stack(64 * 1024)};
+  bool done = false;
+  fib.prepare(
+      [&](Fiber& f) {
+        for (;;) {
+          switch_context(f.context(), main_ctx);  // ping
+        }
+      },
+      [&] {
+        done = true;
+        switch_context(fib.context(), main_ctx);
+      });
+  for (auto _ : state) {
+    switch_context(main_ctx, fib.context());  // pong (2 switches/iter)
+  }
+  benchmark::DoNotOptimize(done);
+  // The fiber never finishes; dropping it reclaims the stack. Each
+  // iteration is two one-way switches.
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_RawContextSwitch);
+
+struct RtFixture {
+  RtFixture() {
+    RuntimeConfig cfg;
+    cfg.num_workers = 1;  // isolate overhead from parallel speedup
+    rt = std::make_unique<Runtime>(cfg, std::make_unique<PromptScheduler>());
+  }
+  std::unique_ptr<Runtime> rt;
+};
+
+void BM_SpawnSyncSerialElision(benchmark::State& state) {
+  RtFixture fx;
+  for (auto _ : state) {
+    fx.rt->submit(0, [] {
+        for (int i = 0; i < 1000; ++i) {
+          spawn([] {});
+          icilk::sync();
+        }
+      }).get();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SpawnSyncSerialElision);
+
+void BM_FutCreateGet(benchmark::State& state) {
+  RtFixture fx;
+  for (auto _ : state) {
+    fx.rt->submit(0, [] {
+        for (int i = 0; i < 100; ++i) {
+          auto f = fut_create([] { return 1; });
+          benchmark::DoNotOptimize(f.get());
+        }
+      }).get();
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FutCreateGet);
+
+void BM_SubmitRoundTrip(benchmark::State& state) {
+  RtFixture fx;
+  for (auto _ : state) {
+    fx.rt->submit(0, [] { return 1; }).get();
+  }
+}
+BENCHMARK(BM_SubmitRoundTrip);
+
+void BM_BitfieldCheck(benchmark::State& state) {
+  // The exact read Prompt I-Cilk performs at every spawn/sync/get.
+  PriorityBitfield bits;
+  bits.set(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bits.has_higher_than(3));
+  }
+}
+BENCHMARK(BM_BitfieldCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

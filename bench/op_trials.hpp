@@ -1,0 +1,135 @@
+// Trial runners for the email and job server benchmarks (Figures 4 & 5).
+//
+// One injector thread replays an open-loop Poisson schedule; each arrival
+// picks an operation type from the configured mix and injects it with its
+// SCHEDULED timestamp, so queueing shows up in the recorded latency. The
+// result carries one histogram per operation type plus the runtime's
+// waste/run accounting (reused by Figure 6).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "apps/email/email_server.hpp"
+#include "apps/job/job_server.hpp"
+#include "bench/common.hpp"
+#include "load/openloop.hpp"
+
+namespace icilk::bench {
+
+struct OpTrialResult {
+  std::array<load::Histogram, 4> hist;  // indexed by op/type enum
+  StatsSnapshot sched_stats;
+};
+
+struct OpTrialOptions {
+  double rps = 100;       ///< total arrivals/sec across all op types
+  double duration_s = 3.0;
+  int workers = 4;
+  std::uint64_t seed = 9;
+};
+
+/// Email mix: sends dominate (they create the data the rest works on).
+inline OpTrialResult run_email_trial(const SchedFactory& make_sched,
+                                     const OpTrialOptions& opt) {
+  using apps::EmailOp;
+  apps::EmailServer::Config cfg;
+  cfg.rt.num_workers = opt.workers;
+  cfg.rt.num_levels = 3;
+  cfg.num_users = 64;
+  cfg.seed = opt.seed;
+  apps::EmailServer srv(cfg, make_sched());
+
+  // Seed mailboxes so sort/compress/print have material from the start.
+  for (int u = 0; u < cfg.num_users; ++u) {
+    srv.inject(EmailOp::Send, u, now_ns());
+    srv.inject(EmailOp::Send, u, now_ns());
+  }
+  srv.drain();
+  for (auto op : {EmailOp::Send, EmailOp::Sort, EmailOp::Compress,
+                  EmailOp::Print}) {
+    srv.histogram(op).reset();
+  }
+  srv.runtime().reset_time_stats();
+
+  const auto arrivals =
+      load::poisson_schedule(opt.rps, opt.duration_s, opt.seed);
+  Xoshiro256 rng(opt.seed, 123);
+  const std::uint64_t epoch = now_ns();
+  for (const std::uint64_t at : arrivals) {
+    load::wait_until_ns(epoch + at);
+    // Mix: 40% send, 20% sort, 20% compress, 20% print.
+    const std::uint32_t dice = rng.bounded(10);
+    EmailOp op = EmailOp::Send;
+    if (dice >= 4 && dice < 6) {
+      op = EmailOp::Sort;
+    } else if (dice >= 6 && dice < 8) {
+      op = EmailOp::Compress;
+    } else if (dice >= 8) {
+      op = EmailOp::Print;
+    }
+    srv.inject(op, static_cast<int>(rng.bounded(
+                       static_cast<std::uint32_t>(cfg.num_users))),
+               epoch + at);
+  }
+  srv.drain();
+
+  OpTrialResult res;
+  for (int i = 0; i < apps::kEmailOpCount; ++i) {
+    res.hist[static_cast<std::size_t>(i)].merge(
+        srv.histogram(static_cast<EmailOp>(i)));
+  }
+  res.sched_stats = srv.runtime().stats_snapshot();
+  return res;
+}
+
+/// Job mix: uniform across the four kernels.
+inline OpTrialResult run_job_trial(const SchedFactory& make_sched,
+                                   const OpTrialOptions& opt) {
+  using apps::JobType;
+  apps::JobServer::Config cfg;
+  cfg.rt.num_workers = opt.workers;
+  cfg.rt.num_levels = 4;
+  cfg.seed = opt.seed;
+  apps::JobServer srv(cfg, make_sched());
+  srv.runtime().reset_time_stats();
+
+  const auto arrivals =
+      load::poisson_schedule(opt.rps, opt.duration_s, opt.seed);
+  Xoshiro256 rng(opt.seed, 321);
+  const std::uint64_t epoch = now_ns();
+  for (const std::uint64_t at : arrivals) {
+    load::wait_until_ns(epoch + at);
+    srv.inject(static_cast<JobType>(rng.bounded(apps::kJobTypeCount)),
+               epoch + at);
+  }
+  srv.drain();
+
+  OpTrialResult res;
+  for (int i = 0; i < apps::kJobTypeCount; ++i) {
+    res.hist[static_cast<std::size_t>(i)].merge(
+        srv.histogram(static_cast<JobType>(i)));
+  }
+  res.sched_stats = srv.runtime().stats_snapshot();
+  return res;
+}
+
+/// The paper's sweep-selection criterion for email/job: average of the
+/// p95 and p99 latencies, across op types.
+inline double sweep_score(const OpTrialResult& r, int op_count) {
+  double total = 0;
+  int counted = 0;
+  for (int i = 0; i < op_count; ++i) {
+    if (r.hist[static_cast<std::size_t>(i)].count() == 0) continue;
+    total += (static_cast<double>(
+                  r.hist[static_cast<std::size_t>(i)].percentile_ns(0.95)) +
+              static_cast<double>(
+                  r.hist[static_cast<std::size_t>(i)].percentile_ns(0.99))) /
+             2.0;
+    ++counted;
+  }
+  return counted ? total / counted : 1e300;
+}
+
+}  // namespace icilk::bench

@@ -1,0 +1,67 @@
+// QoS capacity (the paper's Memcached methodology, after Palit et al.):
+// "95% of all client requests should be handled within 10 ms" — binary
+// search for the maximum RPS each frontend sustains while meeting that
+// criterion, with a fixed client count.
+//
+// Paper's shape: the task-parallel frontends with aging (Prompt, Adaptive
+// Greedy) sustain capacity comparable to pthreads.
+#include "bench/common.hpp"
+#include "load/qos.hpp"
+
+int main(int argc, char** argv) {
+  using namespace icilk;
+  using namespace icilk::bench;
+
+  const double duration = (argc > 1) ? std::atof(argv[1]) : 1.5;
+  const load::QosCriterion qos;  // p95 <= 10ms
+
+  AdaptiveScheduler::Params ap;
+  ap.quantum_us = 2000;
+  ap.util_threshold = 0.6;
+
+  struct Row {
+    const char* name;
+    std::function<double(double)> trial;
+  };
+  auto icilk_trial = [duration, &qos](SchedFactory make) {
+    return std::function<double(double)>(
+        [make, duration, &qos](double rps) {
+          McTrialOptions opt;
+          opt.rps = rps;
+          opt.duration_s = duration;
+          opt.client_connections = 300;
+          auto r = run_mc_trial_icilk(make, opt);
+          return static_cast<double>(r.hist.percentile_ns(qos.quantile));
+        });
+  };
+  const Row rows[] = {
+      {"pthread",
+       [duration](double rps) {
+         McTrialOptions opt;
+         opt.rps = rps;
+         opt.duration_s = duration;
+         opt.client_connections = 300;
+         auto r = run_mc_trial_pthread(opt);
+         return static_cast<double>(r.hist.percentile_ns(0.95));
+       }},
+      {"prompt", icilk_trial(prompt_config().make)},
+      {"adaptive", icilk_trial([ap] {
+         return std::make_unique<AdaptiveScheduler>(
+             AdaptiveScheduler::Variant::Adaptive, ap);
+       })},
+      {"adaptive-greedy", icilk_trial([ap] {
+         return std::make_unique<AdaptiveScheduler>(
+             AdaptiveScheduler::Variant::Greedy, ap);
+       })},
+  };
+
+  print_header("QoS capacity: max RPS with p95 <= 10ms (binary search)",
+               "frontend          max_rps");
+  for (const auto& r : rows) {
+    const double max_rps =
+        load::find_max_rps(r.trial, qos, /*lo=*/2000, /*hi=*/40000,
+                           /*step=*/2500);
+    std::printf("%-17s %.0f\n", r.name, max_rps);
+  }
+  return 0;
+}

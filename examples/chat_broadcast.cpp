@@ -1,0 +1,218 @@
+// Chat broadcast server: I/O futures + task-aware synchronization working
+// together. Each connection runs TWO future routines — a reader that
+// appends incoming lines to a shared history, and a writer that waits on a
+// TaskCondVar and pushes every new line to its client. No event loop, no
+// callback state machines; every routine is straight-line code, and a
+// blocked read/write/wait suspends only that task.
+//
+// The example runs a scripted three-client session against itself, then
+// exits (pass `--serve SECONDS` to keep it up and try `nc` yourself).
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/prompt_scheduler.hpp"
+#include "core/runtime.hpp"
+#include "core/sync_primitives.hpp"
+#include "io/reactor.hpp"
+#include "net/socket.hpp"
+
+using namespace icilk;
+
+namespace {
+
+class ChatServer {
+ public:
+  explicit ChatServer(Runtime& rt, IoReactor& reactor)
+      : rt_(rt), reactor_(reactor) {
+    listen_fd_ = net::listen_tcp(0);
+    port_ = net::local_port(listen_fd_);
+    rt_.submit(1, [this] { accept_loop(); });
+  }
+
+  int port() const { return port_; }
+
+  void stop() {
+    mu_.lock();
+    stopping_ = true;
+    mu_.unlock();
+    cv_.notify_all();
+    const int kick = net::connect_tcp(static_cast<std::uint16_t>(port_));
+    if (kick >= 0) ::close(kick);
+    while (live_.load() > 0) std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));
+    ::close(listen_fd_);
+  }
+
+ private:
+  void accept_loop() {
+    for (;;) {
+      const ssize_t fd = reactor_.accept(listen_fd_);
+      {
+        // Check under the lock so a stop() kick is never serviced.
+        mu_.lock();
+        const bool bail = stopping_;
+        mu_.unlock();
+        if (bail) {
+          if (fd >= 0) ::close(static_cast<int>(fd));
+          return;
+        }
+      }
+      if (fd < 0) continue;
+      live_.fetch_add(2);
+      fut_create([this, fd] { reader(static_cast<int>(fd)); });
+      fut_create([this, fd] { writer(static_cast<int>(fd)); });
+    }
+  }
+
+  void reader(int fd) {
+    char buf[1024];
+    std::string pending;
+    for (;;) {
+      const ssize_t n = reactor_.read_some(fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      pending.append(buf, static_cast<std::size_t>(n));
+      std::size_t nl;
+      while ((nl = pending.find('\n')) != std::string::npos) {
+        std::string line = pending.substr(0, nl + 1);
+        pending.erase(0, nl + 1);
+        mu_.lock();
+        history_.push_back(std::move(line));
+        mu_.unlock();
+        cv_.notify_all();  // wake every connection's writer
+      }
+    }
+    ::shutdown(fd, SHUT_RDWR);  // unblocks this connection's writer
+    mu_.lock();
+    reader_gone_.push_back(fd);
+    mu_.unlock();
+    cv_.notify_all();
+    live_.fetch_sub(1);
+  }
+
+  void writer(int fd) {
+    std::size_t next = 0;
+    for (;;) {
+      std::string batch;
+      {
+        mu_.lock();
+        cv_.wait(mu_, [&] {
+          return next < history_.size() || stopping_ || is_gone(fd);
+        });
+        const bool bail = stopping_ || is_gone(fd);
+        while (next < history_.size()) batch += history_[next++];
+        mu_.unlock();
+        if (bail && batch.empty()) break;
+      }
+      if (!batch.empty() &&
+          reactor_.write_all(fd, batch.data(), batch.size()) < 0) {
+        break;
+      }
+      mu_.lock();
+      const bool bail = stopping_ || is_gone(fd);
+      mu_.unlock();
+      if (bail) break;
+    }
+    ::close(fd);
+    live_.fetch_sub(1);
+  }
+
+  bool is_gone(int fd) {  // caller holds mu_
+    for (const int g : reader_gone_) {
+      if (g == fd) return true;
+    }
+    return false;
+  }
+
+  Runtime& rt_;
+  IoReactor& reactor_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  TaskMutex mu_;
+  TaskCondVar cv_;
+  std::vector<std::string> history_;  // guarded by mu_
+  std::vector<int> reader_gone_;      // guarded by mu_
+  bool stopping_ = false;             // guarded by mu_
+  std::atomic<int> live_{0};
+};
+
+/// Scripted client: sends `say`, collects everything for `ms`.
+std::string client_session(int port, const std::string& say, int ms) {
+  const int fd = net::connect_tcp(static_cast<std::uint16_t>(port));
+  if (fd < 0) return "<connect failed>";
+  if (!say.empty()) {
+    std::size_t off = 0;
+    while (off < say.size()) {
+      const ssize_t w = ::write(fd, say.data() + off, say.size() - off);
+      if (w > 0) off += static_cast<std::size_t>(w);
+    }
+  }
+  std::string got;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  char buf[1024];
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r > 0) {
+      got.append(buf, static_cast<std::size_t>(r));
+    } else if (r == 0) {
+      break;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  ::close(fd);
+  return got;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int serve_seconds = 0;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0) {
+      serve_seconds = std::atoi(argv[i + 1]);
+    }
+  }
+
+  RuntimeConfig cfg;
+  cfg.num_workers = 2;
+  cfg.num_io_threads = 2;
+  cfg.num_levels = 2;
+  Runtime rt(cfg, std::make_unique<PromptScheduler>());
+  {
+    IoReactor reactor(rt);
+    ChatServer chat(rt, reactor);
+    std::printf("chat server on port %d\n", chat.port());
+
+    std::thread alice([&] {
+      std::printf("alice sees:\n%s",
+                  client_session(chat.port(), "alice: hi all\n", 300).c_str());
+    });
+    std::thread bob([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      std::printf("bob sees:\n%s",
+                  client_session(chat.port(), "bob: hey alice\n", 250).c_str());
+    });
+    alice.join();
+    bob.join();
+
+    if (serve_seconds > 0) {
+      std::printf("serving %d seconds... (nc 127.0.0.1 %d)\n", serve_seconds,
+                  chat.port());
+      std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+    }
+    chat.stop();
+  }
+  rt.shutdown();
+  std::printf("chat_broadcast done\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// A runnable minicached deployment: starts the I-Cilk Memcached frontend,
+// exercises it with a short scripted client session (so the example is
+// self-contained), then — if you pass `--serve SECONDS` — keeps serving so
+// you can talk to it yourself:
+//
+//   ./build/examples/kv_server --serve 60
+//   $ printf 'set greeting 0 0 5\r\nhello\r\nget greeting\r\nquit\r\n' \
+//       | nc 127.0.0.1 <port>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "apps/memcached/icilk_server.hpp"
+#include "core/prompt_scheduler.hpp"
+#include "net/socket.hpp"
+
+using namespace icilk;
+
+namespace {
+
+std::string talk(int port, const std::string& script,
+                 const std::string& until) {
+  const int fd = net::connect_tcp(static_cast<std::uint16_t>(port));
+  if (fd < 0) return "<connect failed>";
+  std::size_t off = 0;
+  std::string resp;
+  while (off < script.size() || resp.find(until) == std::string::npos) {
+    if (off < script.size()) {
+      const ssize_t w =
+          ::write(fd, script.data() + off, script.size() - off);
+      if (w > 0) off += static_cast<std::size_t>(w);
+    }
+    char buf[4096];
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r > 0) {
+      resp.append(buf, static_cast<std::size_t>(r));
+    } else if (r == 0) {
+      break;
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      break;
+    }
+  }
+  ::close(fd);
+  return resp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int serve_seconds = 0;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0) {
+      serve_seconds = std::atoi(argv[i + 1]);
+    }
+  }
+
+  apps::ICilkMcServer::Config cfg;
+  cfg.rt.num_workers = 4;     // the paper's Memcached configuration
+  cfg.rt.num_io_threads = 4;  // 4 workers + 4 I/O threads
+  cfg.rt.num_levels = 2;
+  apps::ICilkMcServer server(cfg, std::make_unique<PromptScheduler>());
+  std::printf("minicached (I-Cilk frontend, prompt scheduler) on port %d\n",
+              server.port());
+
+  // Scripted session: store, retrieve, counter, stats.
+  std::printf("--- scripted session ---\n%s",
+              talk(server.port(),
+                   "set motd 0 0 26\r\ntask parallelism, applied!\r\n"
+                   "get motd\r\n",
+                   "END\r\n")
+                  .c_str());
+  std::printf("%s", talk(server.port(),
+                         "set hits 0 0 1\r\n0\r\n"
+                         "incr hits 41\r\nincr hits 1\r\n",
+                         "42\r\n")
+                        .c_str());
+  std::printf("--- stats ---\n%s",
+              talk(server.port(), "stats\r\n", "END\r\n").c_str());
+
+  if (serve_seconds > 0) {
+    std::printf("serving for %d seconds... (try `nc 127.0.0.1 %d`)\n",
+                serve_seconds, server.port());
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  }
+  server.stop();
+  std::printf("kv_server done\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Priority pipeline: the paper's core promise, demonstrated.
+//
+// A service handles two kinds of work on the SAME runtime:
+//   * interactive requests (high priority) that need millisecond latency;
+//   * a batch compression pipeline (low priority) that should soak up all
+//     idle capacity.
+// Running it twice — with promptness on (Prompt I-Cilk) and off (the
+// work-first ablation) — shows why frequent priority checking matters:
+// the batch work is identical, but interactive tail latency collapses
+// only when workers abandon batch deques the moment a request arrives.
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/email/codec.hpp"
+#include "concurrent/rng.hpp"
+#include "core/api.hpp"
+#include "core/prompt_scheduler.hpp"
+#include "core/runtime.hpp"
+#include "load/histogram.hpp"
+#include "load/openloop.hpp"
+
+using namespace icilk;
+
+namespace {
+
+constexpr Priority kInteractive = 3;
+constexpr Priority kBatch = 0;
+
+std::string make_blob(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::string s;
+  s.reserve(n);
+  while (s.size() < n) {
+    s.append("lorem ipsum dolor sit amet ");
+    s.push_back(static_cast<char>('a' + rng.bounded(26)));
+  }
+  s.resize(n);
+  return s;
+}
+
+void run_once(const char* label, PromptScheduler::Options opts) {
+  RuntimeConfig cfg;
+  cfg.num_workers = 3;
+  cfg.num_levels = 4;
+  Runtime rt(cfg, std::make_unique<PromptScheduler>(opts));
+
+  // Batch pipeline: enough concurrent low-priority blob jobs to keep every
+  // worker busy. Each job compresses its blob in 4 KiB chunks with a
+  // spawn/sync per chunk — those are the op boundaries where promptness
+  // checks happen, every ~50us of batch work.
+  std::atomic<bool> stop{false};
+  std::atomic<long> blobs_done{0};
+  std::atomic<int> batch_live{0};
+  const std::string blob = make_blob(256 * 1024, 7);
+  std::function<void()> submit_batch_job = [&] {
+    batch_live.fetch_add(1, std::memory_order_acq_rel);
+    rt.submit(kBatch, [&] {
+      constexpr std::size_t kChunk = 4096;
+      for (std::size_t off = 0; off < blob.size(); off += kChunk) {
+        std::string_view chunk(blob.data() + off,
+                               std::min(kChunk, blob.size() - off));
+        std::string packed;
+        spawn([&packed, chunk] { packed = apps::lz_compress(chunk); });
+        icilk::sync();  // <- promptness check site (and one at the spawn)
+      }
+      blobs_done.fetch_add(1, std::memory_order_relaxed);
+      if (!stop.load(std::memory_order_acquire)) submit_batch_job();
+      batch_live.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  };
+  for (int i = 0; i < 6; ++i) submit_batch_job();
+
+  // Interactive requests: tiny bits of work arriving on an open-loop
+  // schedule; latency measured from scheduled arrival.
+  load::Histogram lat;
+  const auto arrivals = load::poisson_schedule(300.0, 2.0, 99);
+  const std::uint64_t epoch = now_ns();
+  std::atomic<int> done{0};
+  for (const auto at : arrivals) {
+    load::wait_until_ns(epoch + at);
+    rt.submit(kInteractive, [&lat, &done, t = epoch + at] {
+      volatile int x = 0;  // ~a few microseconds of "request handling"
+      for (int i = 0; i < 2000; ++i) x += i;
+      lat.record(now_ns() - t);
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  while (done.load() < static_cast<int>(arrivals.size())) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  while (batch_live.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::printf("%-22s interactive %s | batch blobs=%ld\n", label,
+              lat.summary().c_str(), blobs_done.load());
+}
+
+}  // namespace
+
+int main() {
+  PromptScheduler::Options prompt_on;  // defaults: check at every op
+  PromptScheduler::Options prompt_off;
+  prompt_off.check_period = 0;  // work-first: never abandon
+
+  std::printf("300 interactive req/s against a saturating batch pipeline\n");
+  run_once("promptness ON", prompt_on);
+  run_once("promptness OFF", prompt_off);
+  std::printf(
+      "-> with checking off, interactive requests wait for whole batch\n"
+      "   iterations; with it on, workers abandon batch work at the next\n"
+      "   spawn/sync/get boundary.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+#include "apps/email/codec.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace icilk::apps {
+
+namespace {
+
+constexpr std::size_t kWindow = 4096;  // 12-bit offsets
+constexpr std::size_t kMinMatch = 3;
+constexpr std::size_t kMaxMatch = 18;  // 4 bits: len - kMinMatch in [0,15]
+constexpr int kHashBits = 13;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+std::uint32_t hash3(const unsigned char* p) {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::string lz_compress(std::string_view input) {
+  const auto* in = reinterpret_cast<const unsigned char*>(input.data());
+  const std::size_t n = input.size();
+  std::string out;
+  out.reserve(n / 2 + 16);
+
+  // Header: original length (varint-free, 4 bytes LE; inputs are small).
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((n >> (8 * i)) & 0xFF));
+  }
+
+  // Hash heads + previous-position chains, bounded by the window.
+  std::vector<std::int32_t> head(kHashSize, -1);
+  std::vector<std::int32_t> prev(n > 0 ? n : 1, -1);
+
+  std::size_t pos = 0;
+  std::size_t flag_at = 0;
+  int flag_fill = 8;  // forces a fresh flag byte on the first token
+  auto begin_token = [&](bool is_match) {
+    if (flag_fill == 8) {
+      flag_at = out.size();
+      out.push_back(0);
+      flag_fill = 0;
+    }
+    if (is_match) out[flag_at] |= static_cast<char>(1 << flag_fill);
+    ++flag_fill;
+  };
+
+  while (pos < n) {
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    if (pos + kMinMatch <= n) {
+      const std::uint32_t h = hash3(in + pos);
+      std::int32_t cand = head[h];
+      int probes = 32;
+      while (cand >= 0 && probes-- > 0 &&
+             pos - static_cast<std::size_t>(cand) <= kWindow) {
+        const std::size_t limit =
+            (n - pos) < kMaxMatch ? (n - pos) : kMaxMatch;
+        std::size_t len = 0;
+        const unsigned char* a = in + static_cast<std::size_t>(cand);
+        const unsigned char* b = in + pos;
+        while (len < limit && a[len] == b[len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_off = pos - static_cast<std::size_t>(cand);
+          if (len == kMaxMatch) break;
+        }
+        cand = prev[static_cast<std::size_t>(cand)];
+      }
+      // Insert pos into the chain AFTER searching (old head becomes our
+      // predecessor; never self-link).
+      prev[pos] = head[h];
+      head[h] = static_cast<std::int32_t>(pos);
+    }
+
+    if (best_len >= kMinMatch) {
+      begin_token(true);
+      // offset-1 in 12 bits | (len - kMinMatch) in top 4 bits of byte 2
+      const std::uint16_t off = static_cast<std::uint16_t>(best_off - 1);
+      const std::uint8_t lenc =
+          static_cast<std::uint8_t>(best_len - kMinMatch);
+      out.push_back(static_cast<char>(off & 0xFF));
+      out.push_back(static_cast<char>(((off >> 8) & 0x0F) | (lenc << 4)));
+      // Insert skipped positions into the hash chains.
+      for (std::size_t k = 1; k < best_len && pos + k + kMinMatch <= n; ++k) {
+        const std::uint32_t h2 = hash3(in + pos + k);
+        prev[pos + k] = head[h2];
+        head[h2] = static_cast<std::int32_t>(pos + k);
+      }
+      pos += best_len;
+    } else {
+      begin_token(false);
+      out.push_back(static_cast<char>(in[pos]));
+      ++pos;
+    }
+  }
+  return out;
+}
+
+bool lz_decompress(std::string_view input, std::string& output) {
+  output.clear();
+  if (input.size() < 4) return false;
+  const auto* in = reinterpret_cast<const unsigned char*>(input.data());
+  std::size_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n |= static_cast<std::size_t>(in[i]) << (8 * i);
+  }
+  output.reserve(n);
+  std::size_t pos = 4;
+  std::uint8_t flags = 0;
+  int flag_left = 0;
+  while (output.size() < n) {
+    if (flag_left == 0) {
+      if (pos >= input.size()) return false;
+      flags = in[pos++];
+      flag_left = 8;
+    }
+    const bool is_match = (flags & 1) != 0;
+    flags >>= 1;
+    --flag_left;
+    if (is_match) {
+      if (pos + 2 > input.size()) return false;
+      const std::uint16_t b0 = in[pos];
+      const std::uint16_t b1 = in[pos + 1];
+      pos += 2;
+      const std::size_t off = static_cast<std::size_t>(
+                                  b0 | ((b1 & 0x0F) << 8)) + 1;
+      const std::size_t len = static_cast<std::size_t>(b1 >> 4) + kMinMatch;
+      if (off > output.size()) return false;
+      const std::size_t start = output.size() - off;
+      for (std::size_t k = 0; k < len; ++k) {
+        output.push_back(output[start + k]);  // may self-overlap: correct
+      }
+    } else {
+      if (pos >= input.size()) return false;
+      output.push_back(static_cast<char>(in[pos++]));
+    }
+  }
+  return output.size() == n;
+}
+
+}  // namespace icilk::apps

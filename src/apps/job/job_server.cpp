@@ -1,0 +1,97 @@
+#include "apps/job/job_server.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "apps/job/kernels.hpp"
+
+namespace icilk::apps {
+
+const char* job_type_name(JobType t) {
+  switch (t) {
+    case JobType::Mm:
+      return "mm";
+    case JobType::Fib:
+      return "fib";
+    case JobType::Sort:
+      return "sort";
+    case JobType::Sw:
+      return "sw";
+  }
+  return "?";
+}
+
+JobServer::JobServer(const Config& cfg, std::unique_ptr<Scheduler> sched)
+    : cfg_(cfg), rt_(std::make_unique<Runtime>(cfg.rt, std::move(sched))) {
+  mat_a_ = gen_matrix(cfg_.mm_n, cfg_.seed);
+  mat_b_ = gen_matrix(cfg_.mm_n, cfg_.seed + 1);
+  ints_ = gen_ints(cfg_.sort_n, cfg_.seed + 2);
+  dna_a_ = gen_dna(cfg_.sw_n, cfg_.seed + 3);
+  dna_b_ = gen_dna(cfg_.sw_n, cfg_.seed + 4);
+}
+
+JobServer::~JobServer() {
+  drain();
+  rt_->shutdown();
+}
+
+Priority JobServer::priority_of(JobType t) const {
+  switch (t) {
+    case JobType::Mm:
+      return cfg_.mm_priority;
+    case JobType::Fib:
+      return cfg_.fib_priority;
+    case JobType::Sort:
+      return cfg_.sort_priority;
+    case JobType::Sw:
+      return cfg_.sw_priority;
+  }
+  return 0;
+}
+
+void JobServer::run_job(JobType t) {
+  switch (t) {
+    case JobType::Mm:
+      sink_.fetch_add(
+          static_cast<std::uint64_t>(kernel_mm(mat_a_, mat_b_, cfg_.mm_n)),
+          std::memory_order_relaxed);
+      break;
+    case JobType::Fib:
+      sink_.fetch_add(kernel_fib(cfg_.fib_n), std::memory_order_relaxed);
+      break;
+    case JobType::Sort:
+      sink_.fetch_add(kernel_sort(ints_), std::memory_order_relaxed);
+      break;
+    case JobType::Sw:
+      sink_.fetch_add(
+          static_cast<std::uint64_t>(
+              kernel_sw(dna_a_, dna_b_, cfg_.sw_block)),
+          std::memory_order_relaxed);
+      break;
+  }
+}
+
+void JobServer::inject(JobType t, std::uint64_t arrival_ns) {
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  rt_->submit(priority_of(t), [this, t, arrival_ns] {
+    run_job(t);
+    hist_[static_cast<int>(t)].record(now_ns() - arrival_ns);
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+}
+
+void JobServer::drain() {
+  while (outstanding_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+double JobServer::measure_serial_ms(JobType t) {
+  const auto t0 = std::chrono::steady_clock::now();
+  rt_->submit(priority_of(t), [this, t] { run_job(t); }).get();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace icilk::apps

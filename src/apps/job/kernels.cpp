@@ -1,0 +1,188 @@
+#include "apps/job/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+#include "concurrent/rng.hpp"
+#include "core/api.hpp"
+
+namespace icilk::apps {
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+std::vector<double> gen_matrix(int n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> m(static_cast<std::size_t>(n) * n);
+  for (auto& v : m) v = rng.uniform() * 2.0 - 1.0;
+  return m;
+}
+
+std::vector<std::uint32_t> gen_ints(int n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.next());
+  return v;
+}
+
+std::vector<char> gen_dna(int n, std::uint64_t seed) {
+  static const char kBases[4] = {'A', 'C', 'G', 'T'};
+  Xoshiro256 rng(seed);
+  std::vector<char> s(static_cast<std::size_t>(n));
+  for (auto& c : s) c = kBases[rng.bounded(4)];
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// mm
+// ---------------------------------------------------------------------------
+
+double kernel_mm(const std::vector<double>& a, const std::vector<double>& b,
+                 int n) {
+  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+  constexpr int kRowBlock = 8;
+  for (int r0 = 0; r0 < n; r0 += kRowBlock) {
+    const int r1 = std::min(r0 + kRowBlock, n);
+    icilk::spawn([&, r0, r1] {
+      for (int i = r0; i < r1; ++i) {
+        for (int k = 0; k < n; ++k) {
+          const double aik = a[static_cast<std::size_t>(i) * n + k];
+          const double* brow = &b[static_cast<std::size_t>(k) * n];
+          double* crow = &c[static_cast<std::size_t>(i) * n];
+          for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        }
+      }
+    });
+  }
+  icilk::sync();
+  double sum = 0;
+  for (const double v : c) sum += v;
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// fib
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t fib_serial(int n) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  return fib_serial(n - 1) + fib_serial(n - 2);
+}
+
+std::uint64_t fib_par(int n, int cutoff) {
+  if (n < cutoff) return fib_serial(n);
+  std::uint64_t a = 0;
+  icilk::spawn([&a, n, cutoff] { a = fib_par(n - 1, cutoff); });
+  const std::uint64_t b = fib_par(n - 2, cutoff);
+  icilk::sync();
+  return a + b;
+}
+
+}  // namespace
+
+std::uint64_t kernel_fib(int n) { return fib_par(n, 12); }
+
+// ---------------------------------------------------------------------------
+// sort
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void merge_halves(std::uint32_t* data, std::uint32_t* tmp, std::size_t lo,
+                  std::size_t mid, std::size_t hi) {
+  std::size_t i = lo, j = mid, k = lo;
+  while (i < mid && j < hi) {
+    tmp[k++] = (data[i] <= data[j]) ? data[i++] : data[j++];
+  }
+  while (i < mid) tmp[k++] = data[i++];
+  while (j < hi) tmp[k++] = data[j++];
+  std::copy(tmp + lo, tmp + hi, data + lo);
+}
+
+void msort(std::uint32_t* data, std::uint32_t* tmp, std::size_t lo,
+           std::size_t hi) {
+  constexpr std::size_t kCutoff = 2048;
+  if (hi - lo <= kCutoff) {
+    std::sort(data + lo, data + hi);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  icilk::spawn([=] { msort(data, tmp, lo, mid); });
+  msort(data, tmp, mid, hi);
+  icilk::sync();
+  merge_halves(data, tmp, lo, mid, hi);
+}
+
+}  // namespace
+
+std::uint64_t kernel_sort(const std::vector<std::uint32_t>& data) {
+  std::vector<std::uint32_t> v = data;
+  std::vector<std::uint32_t> tmp(v.size());
+  if (!v.empty()) msort(v.data(), tmp.data(), 0, v.size());
+  // Position-weighted checksum: any out-of-place element changes it.
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    sum = sum * 31 + v[i] + i;
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// sw (Smith-Waterman, block-wavefront)
+// ---------------------------------------------------------------------------
+
+int kernel_sw(const std::vector<char>& seq_a, const std::vector<char>& seq_b,
+              int block) {
+  const int n = static_cast<int>(seq_a.size());
+  const int m = static_cast<int>(seq_b.size());
+  constexpr int kMatch = 2, kMismatch = -1, kGap = -1;
+  std::vector<int> dp(static_cast<std::size_t>(n + 1) * (m + 1), 0);
+  auto at = [&](int i, int j) -> int& {
+    return dp[static_cast<std::size_t>(i) * (m + 1) + j];
+  };
+
+  const int bi = (n + block - 1) / block;
+  const int bj = (m + block - 1) / block;
+  std::atomic<int> best{0};
+
+  // Blocks on the same anti-diagonal are independent: spawn each wave.
+  for (int wave = 0; wave < bi + bj - 1; ++wave) {
+    for (int ib = std::max(0, wave - bj + 1); ib <= std::min(wave, bi - 1);
+         ++ib) {
+      const int jb = wave - ib;
+      icilk::spawn([&, ib, jb] {
+        int local_best = 0;
+        const int i1 = std::min((ib + 1) * block, n);
+        const int j1 = std::min((jb + 1) * block, m);
+        for (int i = ib * block + 1; i <= i1; ++i) {
+          for (int j = jb * block + 1; j <= j1; ++j) {
+            const int sub =
+                (seq_a[static_cast<std::size_t>(i - 1)] ==
+                 seq_b[static_cast<std::size_t>(j - 1)])
+                    ? kMatch
+                    : kMismatch;
+            int v = at(i - 1, j - 1) + sub;
+            v = std::max(v, at(i - 1, j) + kGap);
+            v = std::max(v, at(i, j - 1) + kGap);
+            v = std::max(v, 0);
+            at(i, j) = v;
+            local_best = std::max(local_best, v);
+          }
+        }
+        int prev = best.load(std::memory_order_relaxed);
+        while (local_best > prev &&
+               !best.compare_exchange_weak(prev, local_best,
+                                           std::memory_order_relaxed)) {
+        }
+      });
+    }
+    icilk::sync();  // wavefront barrier
+  }
+  return best.load(std::memory_order_relaxed);
+}
+
+}  // namespace icilk::apps

@@ -1,0 +1,41 @@
+// The job server's four parallel kernels (Section 5): matrix multiply
+// (mm), Fibonacci (fib), mergesort (sort), and Smith-Waterman (sw). The
+// server runs them shortest-job-first, so the priority order is
+// mm > fib > sort > sw.
+//
+// Every kernel is a REAL task-parallel computation written with
+// icilk::spawn / icilk::sync, so job instances exercise intra-request
+// parallelism (unlike Memcached, whose requests are sequential) — the
+// property the paper leans on when analyzing Figure 4.
+// Each returns a checksum so tests can verify correctness and the
+// optimizer cannot delete the work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace icilk::apps {
+
+/// C = A x B over n x n doubles; row-blocks spawned in parallel.
+/// Returns a checksum of C.
+double kernel_mm(const std::vector<double>& a, const std::vector<double>& b,
+                 int n);
+
+/// Parallel Fibonacci with a serial cutoff; returns fib(n).
+std::uint64_t kernel_fib(int n);
+
+/// Parallel mergesort (spawned halves, serial merge) of a copy of `data`;
+/// returns a checksum of the sorted output.
+std::uint64_t kernel_sort(const std::vector<std::uint32_t>& data);
+
+/// Smith-Waterman local alignment over an (n+1)x(n+1) DP matrix with
+/// anti-diagonal block-wavefront parallelism; returns the best score.
+int kernel_sw(const std::vector<char>& seq_a, const std::vector<char>& seq_b,
+              int block);
+
+// Input generators (deterministic per seed).
+std::vector<double> gen_matrix(int n, std::uint64_t seed);
+std::vector<std::uint32_t> gen_ints(int n, std::uint64_t seed);
+std::vector<char> gen_dna(int n, std::uint64_t seed);
+
+}  // namespace icilk::apps

@@ -1,0 +1,176 @@
+#include "apps/memcached/icilk_server.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "core/api.hpp"
+#include "net/socket.hpp"
+
+namespace icilk::apps {
+
+using namespace std::chrono_literals;
+
+ICilkMcServer::ICilkMcServer(const Config& cfg,
+                             std::unique_ptr<Scheduler> sched)
+    : cfg_(cfg),
+      rt_(std::make_unique<Runtime>(cfg.rt, std::move(sched))),
+      reactor_(std::make_unique<IoReactor>(*rt_, cfg.rt.num_io_threads)),
+      store_(cfg.store) {
+  listen_fd_ = net::listen_tcp(cfg_.port);
+  if (listen_fd_ < 0) {
+    std::fprintf(stderr, "icilk-mc: listen failed: %d\n", listen_fd_);
+    std::abort();
+  }
+  port_ = net::local_port(listen_fd_);
+  acceptor_done_ =
+      rt_->submit(cfg_.conn_priority, [this] { acceptor_routine(); });
+  crawler_done_ =
+      rt_->submit(cfg_.bg_priority, [this] { crawler_routine(); });
+  if (!cfg_.snapshot_path.empty()) {
+    snapshot_done_ =
+        rt_->submit(cfg_.bg_priority, [this] { snapshot_routine(); });
+  }
+}
+
+ICilkMcServer::~ICilkMcServer() { stop(); }
+
+void ICilkMcServer::track(int fd) {
+  LockGuard<SpinLock> g(conns_mu_);
+  conn_fds_.insert(fd);
+  active_conns_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ICilkMcServer::untrack(int fd) {
+  LockGuard<SpinLock> g(conns_mu_);
+  conn_fds_.erase(fd);
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Task routines: the whole server logic, in straight-line code.
+// ---------------------------------------------------------------------------
+
+void ICilkMcServer::acceptor_routine() {
+  for (;;) {
+    const ssize_t cfd = reactor_->accept(listen_fd_);
+    if (stop_.load(std::memory_order_acquire)) {
+      if (cfd >= 0) ::close(static_cast<int>(cfd));
+      return;
+    }
+    if (cfd < 0) continue;  // transient accept error
+    net::set_nodelay(static_cast<int>(cfd));
+    track(static_cast<int>(cfd));
+    // Each connection becomes a future routine: the scheduler
+    // time-multiplexes all of them over the worker pool.
+    fut_create([this, fd = static_cast<int>(cfd)] {
+      connection_routine(fd);
+    });
+  }
+}
+
+void ICilkMcServer::connection_routine(int fd) {
+  kv::RequestParser parser;
+  kv::Request req;
+  std::string out;
+  char buf[16384];
+  for (;;) {
+    // Synchronous-looking read: blocks THIS TASK, not the worker.
+    const ssize_t n = reactor_->read_some(fd, buf, sizeof(buf));
+    if (n <= 0) break;  // EOF, reset, or shutdown via stop()
+    parser.feed(buf, static_cast<std::size_t>(n));
+    out.clear();
+    bool keep = true;
+    while (parser.next(req)) {
+      if (!kv::execute(req, store_, out)) {
+        keep = false;
+        break;
+      }
+    }
+    if (!out.empty() &&
+        reactor_->write_all(fd, out.data(), out.size()) < 0) {
+      break;
+    }
+    if (!keep) break;  // quit command
+  }
+  ::close(fd);
+  untrack(fd);
+}
+
+void ICilkMcServer::crawler_routine() {
+  // The background LRU crawler as a low-priority task (Section 3's
+  // background threads, expressed in the task model).
+  while (!stop_.load(std::memory_order_acquire)) {
+    reactor_->sleep_for(
+        std::chrono::milliseconds(cfg_.crawl_interval_ms));
+    if (stop_.load(std::memory_order_acquire)) break;
+    store_.crawl_expired(64);
+  }
+}
+
+void ICilkMcServer::snapshot_routine() {
+  // Periodic persistence at background priority: serialize, write to a
+  // temp file, rename into place (crash-consistent). Regular-file writes
+  // are not pollable, so plain syscalls are used — this is exactly the
+  // low-priority bulk work promptness exists to step around.
+  const std::string tmp = cfg_.snapshot_path + ".tmp";
+  while (!stop_.load(std::memory_order_acquire)) {
+    reactor_->sleep_for(
+        std::chrono::milliseconds(cfg_.snapshot_interval_ms));
+    if (stop_.load(std::memory_order_acquire)) break;
+    const std::string blob = store_.serialize();
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) continue;
+    std::size_t off = 0;
+    bool ok = true;
+    while (off < blob.size()) {
+      const ssize_t w = ::write(fd, blob.data() + off, blob.size() - off);
+      if (w <= 0) {
+        ok = false;
+        break;
+      }
+      off += static_cast<std::size_t>(w);
+    }
+    ::close(fd);
+    if (ok && ::rename(tmp.c_str(), cfg_.snapshot_path.c_str()) == 0) {
+      snapshots_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void ICilkMcServer::stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) return;
+
+  // Unblock the acceptor with a throwaway connection.
+  const int kick = net::connect_tcp(static_cast<std::uint16_t>(port_));
+  if (kick >= 0) ::close(kick);
+  acceptor_done_.get();
+
+  // Force live connections' pending reads to complete: shutdown (not
+  // close) so the reactor sees EOF and the routines exit cleanly.
+  {
+    LockGuard<SpinLock> g(conns_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  while (active_conns_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(1ms);
+  }
+  crawler_done_.get();
+  if (snapshot_done_.valid()) snapshot_done_.get();
+  ::close(listen_fd_);
+
+  // Reactor threads stop before the runtime so no completion can race
+  // runtime shutdown.
+  reactor_.reset();
+  rt_->shutdown();
+}
+
+}  // namespace icilk::apps

@@ -1,0 +1,222 @@
+#include "apps/memcached/pthread_server.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "net/socket.hpp"
+
+namespace icilk::apps {
+
+using namespace std::chrono_literals;
+
+PthreadMcServer::PthreadMcServer(const Config& cfg)
+    : cfg_(cfg), store_(cfg.store) {
+  listen_fd_ = net::listen_tcp(cfg_.port);
+  if (listen_fd_ < 0) {
+    std::fprintf(stderr, "pthread-mc: listen failed: %d\n", listen_fd_);
+    std::abort();
+  }
+  port_ = net::local_port(listen_fd_);
+
+  workers_.reserve(static_cast<std::size_t>(cfg_.num_workers));
+  for (int i = 0; i < cfg_.num_workers; ++i) {
+    auto w = std::make_unique<WorkerCtx>();
+    w->base = std::make_unique<ev::EventBase>();
+    int fds[2];
+    if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+      std::perror("pthread-mc: pipe2");
+      std::abort();
+    }
+    w->pipe_rd = fds[0];
+    w->pipe_wr = fds[1];
+    workers_.push_back(std::move(w));
+  }
+  for (auto& w : workers_) {
+    WorkerCtx* ctx = w.get();
+    ctx->thread = std::thread([this, ctx] { worker_main(*ctx); });
+  }
+  accept_base_ = std::make_unique<ev::EventBase>();
+  accept_thread_ = std::thread([this] { accept_main(); });
+  crawler_ = std::thread([this] { crawler_main(); });
+}
+
+PthreadMcServer::~PthreadMcServer() { stop(); }
+
+void PthreadMcServer::stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) return;
+  accept_base_->loopbreak();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& w : workers_) {
+    w->base->loopbreak();
+    if (w->thread.joinable()) w->thread.join();
+    for (auto& [fd, conn] : w->conns) ::close(fd);
+    w->conns.clear();
+    ::close(w->pipe_rd);
+    ::close(w->pipe_wr);
+  }
+  if (crawler_.joinable()) crawler_.join();
+  ::close(listen_fd_);
+}
+
+// ---------------------------------------------------------------------------
+// Accept thread: dispatch connections round-robin over worker pipes.
+// ---------------------------------------------------------------------------
+
+void PthreadMcServer::accept_main() {
+  ev::Event* ev = accept_base_->new_event(
+      listen_fd_, ev::kRead | ev::kPersist, [this](int fd, short) {
+        for (;;) {
+          const int cfd =
+              ::accept4(fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (cfd < 0) break;
+          net::set_nodelay(cfd);
+          accepted_.fetch_add(1, std::memory_order_relaxed);
+          WorkerCtx& w = *workers_[next_worker_++ % workers_.size()];
+          // Hand the fd to the worker through its pipe (memcached's
+          // dispatch mechanism); the pipe is deep enough in practice.
+          if (::write(w.pipe_wr, &cfd, sizeof(cfd)) != sizeof(cfd)) {
+            ::close(cfd);
+          }
+        }
+      });
+  ev->add();
+  accept_base_->dispatch();
+}
+
+// ---------------------------------------------------------------------------
+// Worker threads: event-driven connection state machines.
+// ---------------------------------------------------------------------------
+
+void PthreadMcServer::worker_main(WorkerCtx& w) {
+  ev::Event* pipe_ev = w.base->new_event(
+      w.pipe_rd, ev::kRead | ev::kPersist, [this, &w](int fd, short) {
+        int cfd;
+        while (::read(fd, &cfd, sizeof(cfd)) == sizeof(cfd)) {
+          adopt_connection(w, cfd);
+        }
+      });
+  pipe_ev->add();
+  w.base->dispatch();
+}
+
+void PthreadMcServer::adopt_connection(WorkerCtx& w, int fd) {
+  auto conn = std::make_unique<Conn>();
+  Conn* c = conn.get();
+  c->fd = fd;
+  c->event = w.base->new_event(
+      fd, ev::kRead, [this, &w, c](int, short what) { conn_event(w, *c, what); });
+  w.conns.emplace(fd, std::move(conn));
+  c->event->add();
+}
+
+void PthreadMcServer::rearm(Conn& c, bool need_requeue) {
+  // Interest depends on buffered output (write mode) and input (read mode);
+  // a connection that yielded mid-pipeline re-arms with a zero timeout so
+  // the loop re-enters it promptly but AFTER servicing other ready
+  // connections (the voluntary yield from Section 3).
+  short interest = ev::kRead;
+  if (c.out_off < c.out.size()) interest = static_cast<short>(interest | ev::kWrite);
+  c.event->set_interest(interest);
+  if (need_requeue) {
+    c.event->add(std::chrono::milliseconds(0));
+  } else {
+    c.event->add();
+  }
+}
+
+bool PthreadMcServer::flush_out(Conn& c) {
+  while (c.out_off < c.out.size()) {
+    const ssize_t n =
+        ::write(c.fd, c.out.data() + c.out_off, c.out.size() - c.out_off);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;  // kernel buffer full; wait for kWrite
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return false;
+    }
+  }
+  c.out.clear();
+  c.out_off = 0;
+  return true;
+}
+
+void PthreadMcServer::process_requests(WorkerCtx& w, Conn& c, bool& yielded) {
+  yielded = false;
+  kv::Request req;
+  int handled = 0;
+  while (handled < cfg_.reqs_per_event && !c.closing) {
+    if (!c.parser.next(req)) break;
+    if (!kv::execute(req, store_, c.out)) c.closing = true;
+    ++handled;
+  }
+  // More complete requests may still be buffered: yield, do not starve.
+  if (handled == cfg_.reqs_per_event && c.parser.pending_bytes() > 0) {
+    yielded = true;
+  }
+}
+
+void PthreadMcServer::conn_event(WorkerCtx& w, Conn& c, short what) {
+  if (what & ev::kRead) {
+    char buf[16384];
+    for (;;) {
+      const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+      if (n > 0) {
+        c.parser.feed(buf, static_cast<std::size_t>(n));
+        if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      } else if (n == 0) {
+        close_conn(w, c);
+        return;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      } else if (errno == EINTR) {
+        continue;
+      } else {
+        close_conn(w, c);
+        return;
+      }
+    }
+  }
+  bool yielded = false;
+  process_requests(w, c, yielded);
+  if (!flush_out(c)) {
+    close_conn(w, c);
+    return;
+  }
+  if (c.closing && c.out_off >= c.out.size()) {
+    close_conn(w, c);
+    return;
+  }
+  rearm(c, yielded);
+}
+
+void PthreadMcServer::close_conn(WorkerCtx& w, Conn& c) {
+  const int fd = c.fd;
+  w.base->free_event(c.event);
+  ::close(fd);
+  w.conns.erase(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Background LRU crawler (one of the original's background threads).
+// ---------------------------------------------------------------------------
+
+void PthreadMcServer::crawler_main() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(cfg_.crawl_interval_ms));
+    if (stop_.load(std::memory_order_acquire)) break;
+    store_.crawl_expired(64);
+  }
+}
+
+}  // namespace icilk::apps

@@ -1,0 +1,76 @@
+// The priority bitfield at the heart of Prompt I-Cilk's promptness.
+//
+// Bit i is set when priority level i (0..63, higher index = more urgent)
+// currently has discoverable work. Workers read the field at every spawn /
+// sync / fut_create / get and before every steal; a worker on a lower level
+// than the highest set bit abandons its deque and moves up.
+//
+// Updates follow the paper exactly:
+//   * enqueue into a level's pool  -> fetch_or the bit
+//   * a thief finding the pool empty -> fetch_and-clear the bit, re-check
+//     the pool, and re-set the bit if the pool refilled (the "double check"
+//     that keeps a bit from staying unset while work exists).
+// Reads use seq_cst loads as the paper specifies; the highest set bit is
+// retrieved with the count-leading-zeros builtin.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace icilk {
+
+class PriorityBitfield {
+ public:
+  static constexpr int kMaxLevels = 64;
+  static constexpr int kNoLevel = -1;
+
+  /// Sets bit `level`. Returns the previous value of the whole field, so
+  /// callers can detect the 0 -> non-zero transition that must broadcast
+  /// the sleepers' condition variable.
+  std::uint64_t set(int level) noexcept {
+    return bits_.fetch_or(mask(level), std::memory_order_seq_cst);
+  }
+
+  /// Clears bit `level`; returns previous field value.
+  std::uint64_t clear(int level) noexcept {
+    return bits_.fetch_and(~mask(level), std::memory_order_seq_cst);
+  }
+
+  bool test(int level) const noexcept {
+    return (bits_.load(std::memory_order_seq_cst) & mask(level)) != 0;
+  }
+
+  std::uint64_t load() const noexcept {
+    return bits_.load(std::memory_order_seq_cst);
+  }
+
+  /// Cheap read for rate-insensitive spots (stats, heuristics).
+  std::uint64_t load_relaxed() const noexcept {
+    return bits_.load(std::memory_order_relaxed);
+  }
+
+  /// Index of the highest (most urgent) level with work, or kNoLevel.
+  int highest() const noexcept { return highest_of(load()); }
+
+  /// Highest set bit of a snapshot; exposed so callers can take one
+  /// seq_cst snapshot and derive several facts from it.
+  static int highest_of(std::uint64_t v) noexcept {
+    if (v == 0) return kNoLevel;
+    return 63 - __builtin_clzll(v);
+  }
+
+  /// True when some level above `level` has work, per one atomic snapshot.
+  bool has_higher_than(int level) const noexcept {
+    const std::uint64_t above = ~((mask(level) << 1) - 1);
+    return (load() & above) != 0;
+  }
+
+ private:
+  static constexpr std::uint64_t mask(int level) noexcept {
+    return std::uint64_t{1} << level;
+  }
+
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+}  // namespace icilk

@@ -1,0 +1,33 @@
+// Cache-line geometry helpers shared by all concurrent data structures.
+//
+// We intentionally hard-code 64 bytes rather than using
+// std::hardware_destructive_interference_size: the latter is not guaranteed
+// to be stable across translation units compiled with different flags (GCC
+// warns about exactly this when it appears in headers), and every x86-64
+// part this project targets uses 64-byte lines.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace icilk {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a value so that it occupies (at least) one full cache line,
+/// preventing false sharing between adjacent array elements. Used for
+/// per-worker counters and queue head/tail indices.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace icilk

@@ -1,0 +1,32 @@
+#include "concurrent/clock.hpp"
+
+#include <thread>
+
+namespace icilk {
+
+namespace {
+
+std::uint64_t calibrate() {
+  using namespace std::chrono;
+#if defined(__x86_64__)
+  const auto t0 = steady_clock::now();
+  const std::uint64_t c0 = now_ticks();
+  std::this_thread::sleep_for(milliseconds(20));
+  const auto t1 = steady_clock::now();
+  const std::uint64_t c1 = now_ticks();
+  const double secs = duration_cast<duration<double>>(t1 - t0).count();
+  return static_cast<std::uint64_t>(static_cast<double>(c1 - c0) / secs);
+#else
+  return static_cast<std::uint64_t>(
+      duration_cast<nanoseconds>(seconds(1)).count());
+#endif
+}
+
+}  // namespace
+
+std::uint64_t ticks_per_second() noexcept {
+  static const std::uint64_t rate = calibrate();
+  return rate;
+}
+
+}  // namespace icilk

@@ -1,0 +1,75 @@
+// Time accounting for the scheduler's waste / running-time split (Section 5
+// of the paper, "Waste and Scheduling Overhead"):
+//
+//   waste = time workers spent looking for and failing to find work, plus
+//           (Prompt) time spent going to sleep / waking up;
+//   run   = useful work plus scheduling overhead (successful steals, mugs,
+//           bitfield checks, queue maintenance while active).
+//
+// We use the raw TSC when available (rdtsc is ~7ns and monotonic-enough on
+// modern invariant-TSC parts) and fall back to steady_clock elsewhere.
+// A StopwatchBucket accumulates disjoint segments into named counters.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace icilk {
+
+/// Raw cycle/tick counter; only differences are meaningful.
+inline std::uint64_t now_ticks() noexcept {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Ticks per second, calibrated once (lazily) against steady_clock.
+std::uint64_t ticks_per_second() noexcept;
+
+inline double ticks_to_seconds(std::uint64_t ticks) noexcept {
+  return static_cast<double>(ticks) / static_cast<double>(ticks_per_second());
+}
+
+/// Nanosecond wall clock (steady). Used for latency measurement where
+/// cross-thread comparability matters more than the last few ns.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Accumulates tick segments. Single-writer (one worker), readers tolerate
+/// torn-free relaxed reads because totals are only consumed at quiescence.
+class TickAccumulator {
+ public:
+  void add(std::uint64_t ticks) noexcept { total_ += ticks; }
+  std::uint64_t total() const noexcept { return total_; }
+  void reset() noexcept { total_ = 0; }
+
+ private:
+  std::uint64_t total_ = 0;
+};
+
+/// RAII segment timer: charge the elapsed ticks to an accumulator.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TickAccumulator& acc) noexcept
+      : acc_(acc), start_(now_ticks()) {}
+  ~ScopedTimer() { acc_.add(now_ticks() - start_); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TickAccumulator& acc_;
+  std::uint64_t start_;
+};
+
+}  // namespace icilk

@@ -1,0 +1,179 @@
+#include "concurrent/epoch.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace icilk {
+
+struct EpochManager::ThreadState {
+  EpochManager* owner = nullptr;
+  int slot = -1;
+  int pin_depth = 0;
+  std::uint64_t retires_since_collect = 0;
+  std::vector<Garbage> garbage;
+
+  ~ThreadState() {
+    if (owner) owner->release_thread(*this);
+  }
+};
+
+namespace {
+/// One state per (thread, manager) pair; linear search is fine because a
+/// thread touches at most a handful of managers.
+thread_local std::vector<std::unique_ptr<EpochManager::ThreadState>>
+    tls_states;
+}  // namespace
+
+EpochManager& EpochManager::instance() {
+  static EpochManager* mgr = new EpochManager();  // immortal; threads may
+  return *mgr;                                    // outlive static dtors
+}
+
+EpochManager::~EpochManager() {
+  // Unbind every registered thread (none may be actively using us — see
+  // the header contract) and free all leftover garbage.
+  for (int i = 0; i < kMaxThreads; ++i) {
+    if (!slots_[i].in_use.load(std::memory_order_acquire)) continue;
+    ThreadState* ts = slots_[i].state.load(std::memory_order_acquire);
+    if (ts != nullptr) {
+      for (auto& g : ts->garbage) g.deleter(g.ptr);
+      ts->garbage.clear();
+      ts->owner = nullptr;
+      ts->slot = -1;
+    }
+    slots_[i].state.store(nullptr, std::memory_order_release);
+    slots_[i].in_use.store(false, std::memory_order_release);
+  }
+  std::lock_guard<std::mutex> g(orphan_mu_);
+  for (auto& o : orphans_) o.deleter(o.ptr);
+  orphans_.clear();
+}
+
+EpochManager::ThreadState& EpochManager::local_state() {
+  for (auto& s : tls_states) {
+    if (s->owner == this) return *s;
+  }
+  auto fresh = std::make_unique<ThreadState>();
+  for (int i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (slots_[i].in_use.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel)) {
+      fresh->owner = this;
+      fresh->slot = i;
+      slots_[i].state.store(fresh.get(), std::memory_order_release);
+      tls_states.push_back(std::move(fresh));
+      return *tls_states.back();
+    }
+  }
+  assert(false && "EpochManager: too many threads");
+  __builtin_unreachable();
+}
+
+void EpochManager::release_thread(ThreadState& ts) {
+  if (ts.slot < 0 || ts.owner == nullptr) return;
+  if (!ts.garbage.empty()) {
+    std::lock_guard<std::mutex> g(orphan_mu_);
+    orphans_.insert(orphans_.end(), ts.garbage.begin(), ts.garbage.end());
+    ts.garbage.clear();
+  }
+  slots_[ts.slot].state.store(nullptr, std::memory_order_release);
+  slots_[ts.slot].epoch.store(kIdle, std::memory_order_release);
+  slots_[ts.slot].in_use.store(false, std::memory_order_release);
+  ts.slot = -1;
+  ts.owner = nullptr;
+}
+
+void EpochManager::pin() {
+  ThreadState& ts = local_state();
+  if (ts.pin_depth++ > 0) return;
+  // Publish our epoch, then re-read the global epoch until stable; the
+  // seq_cst store makes the publication visible to collectors before we
+  // dereference any shared pointer.
+  std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  for (;;) {
+    slots_[ts.slot].epoch.store(e, std::memory_order_seq_cst);
+    const std::uint64_t e2 = global_epoch_.load(std::memory_order_seq_cst);
+    if (e2 == e) break;
+    e = e2;
+  }
+}
+
+void EpochManager::unpin() {
+  ThreadState& ts = local_state();
+  assert(ts.pin_depth > 0);
+  if (--ts.pin_depth == 0) {
+    slots_[ts.slot].epoch.store(kIdle, std::memory_order_release);
+  }
+}
+
+void EpochManager::retire(void* p, void (*deleter)(void*)) {
+  ThreadState& ts = local_state();
+  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  ts.garbage.push_back(Garbage{p, deleter, e});
+  if (++ts.retires_since_collect >= 64) {
+    ts.retires_since_collect = 0;
+    collect();
+  }
+}
+
+void EpochManager::collect() {
+  ThreadState& ts = local_state();
+  const std::uint64_t ge = global_epoch_.load(std::memory_order_seq_cst);
+
+  // The epoch can advance only if every pinned thread has caught up to it.
+  bool all_current = true;
+  for (int i = 0; i < kMaxThreads; ++i) {
+    if (!slots_[i].in_use.load(std::memory_order_acquire)) continue;
+    const std::uint64_t se = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (se != kIdle && se != ge) {
+      all_current = false;
+      break;
+    }
+  }
+  std::uint64_t cur = ge;
+  if (all_current) {
+    // CAS so concurrent collectors advance at most once per observation.
+    if (global_epoch_.compare_exchange_strong(cur, ge + 1,
+                                              std::memory_order_seq_cst)) {
+      cur = ge + 1;
+    }
+  }
+
+  // Objects retired in epoch <= cur - 2 cannot still be referenced.
+  const std::uint64_t safe_before = cur - 1;  // free when epoch < safe_before
+  free_safe(ts.garbage, safe_before);
+  if (orphan_mu_.try_lock()) {
+    free_safe(orphans_, safe_before);
+    orphan_mu_.unlock();
+  }
+}
+
+void EpochManager::free_safe(std::vector<Garbage>& list,
+                             std::uint64_t safe_before) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i].epoch < safe_before) {
+      list[i].deleter(list[i].ptr);
+    } else {
+      list[kept++] = list[i];
+    }
+  }
+  list.resize(kept);
+}
+
+void EpochManager::drain_all_for_test() {
+  ThreadState& ts = local_state();
+  for (auto& g : ts.garbage) g.deleter(g.ptr);
+  ts.garbage.clear();
+  std::lock_guard<std::mutex> g(orphan_mu_);
+  for (auto& o : orphans_) o.deleter(o.ptr);
+  orphans_.clear();
+}
+
+std::size_t EpochManager::pending_for_test() {
+  ThreadState& ts = local_state();
+  std::lock_guard<std::mutex> g(orphan_mu_);
+  return ts.garbage.size() + orphans_.size();
+}
+
+}  // namespace icilk

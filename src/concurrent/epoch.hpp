@@ -1,0 +1,117 @@
+// Epoch-based memory reclamation (EBR), as cited by the paper [15] for the
+// centralized deque pool: the FAA queue is "organized as an array of arrays
+// to allow for concurrent accesses while resizing" and "uses the standard
+// epoch-based reclamation technique to ensure that no workers are still
+// referencing the old arrays before recycling them."
+//
+// Scheme: the classic three-epoch design. A thread entering a read-side
+// critical section pins itself to the current global epoch. Retired objects
+// are tagged with the epoch at retirement. The global epoch may advance only
+// when every pinned thread has observed it; an object retired in epoch e is
+// safe to free once the global epoch reaches e + 2 (no pinned thread can
+// still be in e or earlier).
+//
+// Threads register lazily via thread_local handles. Garbage left behind by
+// exiting threads moves to a shared orphan list that surviving threads
+// collect opportunistically.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "concurrent/cacheline.hpp"
+
+namespace icilk {
+
+class EpochManager {
+ public:
+  struct ThreadState;  // per-(thread, manager): slot, pin depth, garbage
+
+  static constexpr int kMaxThreads = 256;
+  /// A slot's epoch value when the thread is not inside a critical section.
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  EpochManager() = default;
+  /// Lifetime contract: at destruction no thread may be concurrently using
+  /// the manager (instance() trivially satisfies this; tests must join
+  /// their threads first). Leftover garbage is freed; surviving threads
+  /// that used this manager are unbound.
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Process-wide default instance (most users share one manager).
+  static EpochManager& instance();
+
+  /// Enters a critical section: objects observed while pinned will not be
+  /// freed until after unpin. Re-entrant (nested pins are counted).
+  void pin();
+  void unpin();
+
+  /// Registers `p` for deferred deletion with the given deleter. May be
+  /// called pinned or unpinned.
+  void retire(void* p, void (*deleter)(void*));
+
+  /// Attempts to advance the global epoch and free safe garbage. Called
+  /// automatically every few retirements; exposed for tests/shutdown.
+  void collect();
+
+  /// Frees everything unconditionally. Only safe when no other thread can
+  /// touch the manager (used in destructors and tests).
+  void drain_all_for_test();
+
+  std::uint64_t global_epoch_for_test() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+  std::size_t pending_for_test();
+
+ private:
+  struct Garbage {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  struct alignas(kCacheLineSize) Slot {
+    std::atomic<std::uint64_t> epoch{kIdle};
+    std::atomic<bool> in_use{false};
+    std::atomic<ThreadState*> state{nullptr};
+  };
+
+  ThreadState& local_state();
+  void release_thread(ThreadState& ts);
+  void free_safe(std::vector<Garbage>& list, std::uint64_t safe_before);
+
+  Slot slots_[kMaxThreads];
+  std::atomic<std::uint64_t> global_epoch_{2};  // start >1 so e-2 is valid
+  std::mutex orphan_mu_;
+  std::vector<Garbage> orphans_;
+
+  friend struct EpochGuardAccess;
+};
+
+/// RAII pin/unpin.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager& m = EpochManager::instance()) : m_(m) {
+    m_.pin();
+  }
+  ~EpochGuard() { m_.unpin(); }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager& m_;
+};
+
+/// Convenience typed retire.
+template <typename T>
+void epoch_retire(T* p, EpochManager& m = EpochManager::instance()) {
+  m.retire(p, [](void* q) { delete static_cast<T*>(q); });
+}
+
+}  // namespace icilk

@@ -1,0 +1,226 @@
+// The non-blocking FIFO queue Prompt I-Cilk uses for its centralized
+// per-priority deque pools (Section 4 of the paper):
+//
+//   "this deque pool is implemented using an efficient concurrent
+//    non-blocking FIFO queue. The queue utilizes fetch-and-add to implement
+//    fast insert (at the tail) and removal (from the head). It is organized
+//    as an array of arrays to allow for concurrent accesses while resizing.
+//    It uses the standard epoch-based reclamation technique to ensure that
+//    no workers are still referencing the old arrays before recycling them."
+//
+// Design (the "infinite array" FAA queue, the same base construction that
+// underlies LCRQ): a logically unbounded array of cells addressed by two
+// monotonically increasing counters. enqueue claims cell tail++ and CASes it
+// from kEmpty to the value; dequeue claims cell head++ and exchanges it to
+// kTaken. If the dequeuer's exchange finds kEmpty it raced ahead of a slow
+// enqueuer: the enqueuer's CAS will fail on the poisoned cell and it simply
+// claims a fresh tail index. No value is ever lost or duplicated, and
+// ordering follows the fetch-and-add order of the counters (FIFO — exactly
+// the aging behaviour the scheduler relies on).
+//
+// The "array of arrays": cells live in fixed-size segments linked by a next
+// pointer; whichever thread needs a missing segment appends it with a single
+// CAS. Dequeuers advance the shared head-segment pointer past fully-claimed
+// segments and retire them through the EpochManager, so a slow thread still
+// touching an old segment never sees it freed underneath it (retired !=
+// freed: freeing waits until all pinned threads move on).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "concurrent/cacheline.hpp"
+#include "concurrent/epoch.hpp"
+
+namespace icilk {
+
+template <typename T>
+class FaaQueue {
+ public:
+  static constexpr std::size_t kSegmentSize = 1024;
+
+  explicit FaaQueue(EpochManager& epochs = EpochManager::instance())
+      : epochs_(epochs) {
+    Segment* s = new Segment(0);
+    head_seg_.store(s, std::memory_order_relaxed);
+    tail_seg_.store(s, std::memory_order_relaxed);
+  }
+
+  FaaQueue(const FaaQueue&) = delete;
+  FaaQueue& operator=(const FaaQueue&) = delete;
+
+  ~FaaQueue() {
+    // Single-threaded at destruction: walk and free all live segments.
+    Segment* s = head_seg_.load(std::memory_order_relaxed);
+    while (s) {
+      Segment* next = s->next.load(std::memory_order_relaxed);
+      delete s;
+      s = next;
+    }
+  }
+
+  /// Enqueues a non-null pointer at the tail. Lock-free.
+  void push(T* value) {
+    assert(value != nullptr);
+    EpochGuard guard(epochs_);
+    for (;;) {
+      // Capture hints BEFORE claiming an index: a hint taken while pinned
+      // stays reachable (retired segments keep their next chain and are not
+      // freed under our pin), and a pre-claim hint can never be ahead of
+      // the segment we are about to claim into... except when dequeuers
+      // transiently overshoot the tail; that case yields nullptr below.
+      Segment* head_hint = head_seg_.load(std::memory_order_acquire);
+      Segment* tail_hint = tail_seg_.load(std::memory_order_acquire);
+      const std::uint64_t idx = tail_.fetch_add(1, std::memory_order_seq_cst);
+      const std::uint64_t id = idx / kSegmentSize;
+      Segment* start =
+          (tail_hint->id <= id) ? tail_hint : head_hint;  // prefer near hint
+      Segment* seg = find_segment(start, id);
+      if (seg == nullptr) {
+        // Dequeuers overshooting the tail already swept our claimed index;
+        // the dequeuer that claimed it treats the cell as empty. Claim a
+        // fresh index; nothing was published.
+        continue;
+      }
+      advance_hint(tail_seg_, seg);
+      void* expected = kEmpty;
+      if (seg->cells[idx % kSegmentSize].compare_exchange_strong(
+              expected, value, std::memory_order_release,
+              std::memory_order_acquire)) {
+        return;
+      }
+      // Cell poisoned by an overtaking dequeuer; try a fresh index.
+    }
+  }
+
+  /// Dequeues from the head; returns nullptr when (momentarily) empty.
+  T* pop() {
+    EpochGuard guard(epochs_);
+    for (;;) {
+      // Don't let head overrun tail: if the queue is logically empty, stop
+      // instead of poisoning unbounded cells. (A false "empty" under racing
+      // pushes is tolerated by every caller — the scheduler's bitfield
+      // double-check exists for precisely this.)
+      const std::uint64_t h = head_.load(std::memory_order_seq_cst);
+      const std::uint64_t t = tail_.load(std::memory_order_seq_cst);
+      if (h >= t) return nullptr;
+
+      // Pre-claim hint: head_seg_->id <= head_/kSegmentSize <= idx/kSegmentSize
+      // at capture time, so the claimed segment is always reachable from it.
+      Segment* hint = head_seg_.load(std::memory_order_acquire);
+      const std::uint64_t idx = head_.fetch_add(1, std::memory_order_seq_cst);
+      Segment* seg = find_segment(hint, idx / kSegmentSize);
+      assert(seg != nullptr && "FAA queue: claimed index behind head segment");
+      void* prev = seg->cells[idx % kSegmentSize].exchange(
+          kTaken, std::memory_order_acq_rel);
+      if (prev != kEmpty) {
+        advance_head_segment();
+        return static_cast<T*>(prev);
+      }
+      // Raced ahead of the enqueuer that claimed idx; that enqueuer will
+      // fail its CAS and retry elsewhere. Loop (re-checking emptiness).
+    }
+  }
+
+  /// True when head has caught up with tail. Racy by nature; see pop().
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_seq_cst) >=
+           tail_.load(std::memory_order_seq_cst);
+  }
+
+  /// Approximate number of elements (may transiently over/under-count).
+  std::size_t size_approx() const noexcept {
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    return t > h ? static_cast<std::size_t>(t - h) : 0;
+  }
+
+  std::uint64_t segments_allocated_for_test() const noexcept {
+    return segs_allocated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Segment {
+    explicit Segment(std::uint64_t id_) : id(id_) {
+      for (auto& c : cells) c.store(kEmpty, std::memory_order_relaxed);
+    }
+    const std::uint64_t id;
+    std::atomic<Segment*> next{nullptr};
+    std::atomic<void*> cells[kSegmentSize];
+  };
+
+  static inline void* const kEmpty = nullptr;
+  // Distinguished non-null sentinel; never a valid T*.
+  static inline void* const kTaken = reinterpret_cast<void*>(std::uintptr_t{1});
+
+  /// Walks (appending as needed) from `start` to the segment with `id`.
+  /// Returns nullptr if `start` is already past `id` (only possible for
+  /// enqueuers whose cell was swept; see push()). Caller must be pinned;
+  /// `start` must have been captured under the same pin.
+  Segment* find_segment(Segment* start, std::uint64_t id) {
+    Segment* s = start;
+    if (s->id > id) return nullptr;
+    while (s->id < id) {
+      Segment* next = s->next.load(std::memory_order_acquire);
+      if (next == nullptr) {
+        Segment* fresh = new Segment(s->id + 1);
+        if (s->next.compare_exchange_strong(next, fresh,
+                                            std::memory_order_acq_rel)) {
+          segs_allocated_.fetch_add(1, std::memory_order_relaxed);
+          next = fresh;
+        } else {
+          delete fresh;  // another thread appended first
+        }
+      }
+      s = next;
+    }
+    return s;
+  }
+
+  /// CAS-advances a hint pointer monotonically forward (by segment id).
+  static void advance_hint(std::atomic<Segment*>& hint, Segment* to) {
+    Segment* cur = hint.load(std::memory_order_acquire);
+    while (cur->id < to->id &&
+           !hint.compare_exchange_weak(cur, to, std::memory_order_acq_rel)) {
+    }
+  }
+
+  /// Moves head_seg_ forward past segments whose indices have all been
+  /// claimed by dequeuers, retiring them via EBR. Segment k is sweepable
+  /// once head_ >= (k+1)*kSegmentSize. In-flight claimants of cells in a
+  /// retired segment are safe: they pinned before claiming, so the segment
+  /// cannot be freed until they unpin, and their value (if any) is returned
+  /// by their own exchange.
+  void advance_head_segment() {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t safe_id = h / kSegmentSize;  // ids < safe_id sweepable
+    Segment* hs = head_seg_.load(std::memory_order_acquire);
+    if (hs->id >= safe_id) return;
+    Segment* cur = hs;
+    Segment* target = cur;
+    while (target->id < safe_id) {
+      Segment* next = target->next.load(std::memory_order_acquire);
+      if (next == nullptr) return;  // not yet materialized; nothing to sweep
+      target = next;
+    }
+    // Single CAS winner detaches and retires the prefix [hs, target).
+    if (head_seg_.compare_exchange_strong(hs, target,
+                                          std::memory_order_acq_rel)) {
+      while (cur != target) {
+        Segment* next = cur->next.load(std::memory_order_acquire);
+        epochs_.retire(cur, [](void* p) { delete static_cast<Segment*>(p); });
+        cur = next;
+      }
+    }
+  }
+
+  EpochManager& epochs_;
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> tail_{0};
+  alignas(kCacheLineSize) std::atomic<Segment*> head_seg_{nullptr};
+  alignas(kCacheLineSize) std::atomic<Segment*> tail_seg_{nullptr};
+  std::atomic<std::uint64_t> segs_allocated_{1};
+};
+
+}  // namespace icilk

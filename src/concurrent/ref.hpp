@@ -1,0 +1,135 @@
+// Intrusive reference counting.
+//
+// Deques, future states, and connection records are shared between workers,
+// pool queues, and I/O threads with no single owner. shared_ptr would work
+// but costs a separate control block and cannot round-trip through the
+// void*-based FAA queue without an extra allocation; an intrusive count
+// gives us Ref<T>::release() / Ref<T>::adopt() for exactly that round trip.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace icilk {
+
+/// Base class for intrusively reference-counted types.
+/// Objects start with a count of 1, owned by the creating Ref.
+class RefCounted {
+ public:
+  RefCounted() = default;
+  RefCounted(const RefCounted&) = delete;
+  RefCounted& operator=(const RefCounted&) = delete;
+
+  void ref_inc() const noexcept {
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Returns true when this call dropped the last reference; the caller
+  /// must then delete the object.
+  bool ref_dec() const noexcept {
+    // Release on decrement + acquire fence on the final drop orders all
+    // prior writes to the object before its destruction.
+    if (count_.fetch_sub(1, std::memory_order_release) == 1) {
+      std::atomic_thread_fence(std::memory_order_acquire);
+      return true;
+    }
+    return false;
+  }
+
+  std::uint32_t ref_count_for_test() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  ~RefCounted() = default;
+
+ private:
+  mutable std::atomic<std::uint32_t> count_{1};
+};
+
+/// Smart pointer for RefCounted objects.
+template <typename T>
+class Ref {
+ public:
+  Ref() = default;
+  Ref(std::nullptr_t) {}  // NOLINT: implicit by design, mirrors raw pointers
+
+  /// Takes ownership of an existing count (does not increment). Use
+  /// Ref<T>::adopt for clarity at call sites.
+  static Ref adopt(T* p) noexcept {
+    Ref r;
+    r.ptr_ = p;
+    return r;
+  }
+
+  /// Shares ownership of `p` (increments).
+  static Ref share(T* p) noexcept {
+    if (p) p->ref_inc();
+    return adopt(p);
+  }
+
+  /// Creates the object; the new Ref holds the initial count.
+  template <typename... Args>
+  static Ref make(Args&&... args) {
+    return adopt(new T(std::forward<Args>(args)...));
+  }
+
+  Ref(const Ref& o) noexcept : ptr_(o.ptr_) {
+    if (ptr_) ptr_->ref_inc();
+  }
+  Ref(Ref&& o) noexcept : ptr_(o.ptr_) { o.ptr_ = nullptr; }
+
+  /// Converting copy/move (derived -> base); deletion through the base
+  /// requires the base to have a virtual destructor, which RefCounted
+  /// clients with hierarchies must provide.
+  template <typename U>
+    requires std::is_convertible_v<U*, T*>
+  Ref(const Ref<U>& o) noexcept : ptr_(o.get()) {
+    if (ptr_) ptr_->ref_inc();
+  }
+  template <typename U>
+    requires std::is_convertible_v<U*, T*>
+  Ref(Ref<U>&& o) noexcept : ptr_(o.release()) {}
+
+  Ref& operator=(const Ref& o) noexcept {
+    Ref tmp(o);
+    swap(tmp);
+    return *this;
+  }
+  Ref& operator=(Ref&& o) noexcept {
+    Ref tmp(std::move(o));
+    swap(tmp);
+    return *this;
+  }
+
+  ~Ref() { reset(); }
+
+  void reset() noexcept {
+    if (ptr_ && ptr_->ref_dec()) delete ptr_;
+    ptr_ = nullptr;
+  }
+
+  /// Relinquishes ownership without decrementing; pairs with adopt().
+  T* release() noexcept {
+    T* p = ptr_;
+    ptr_ = nullptr;
+    return p;
+  }
+
+  void swap(Ref& o) noexcept { std::swap(ptr_, o.ptr_); }
+
+  T* get() const noexcept { return ptr_; }
+  T* operator->() const noexcept { return ptr_; }
+  T& operator*() const noexcept { return *ptr_; }
+  explicit operator bool() const noexcept { return ptr_ != nullptr; }
+  bool operator==(const Ref& o) const noexcept { return ptr_ == o.ptr_; }
+  bool operator!=(const Ref& o) const noexcept { return ptr_ != o.ptr_; }
+
+ private:
+  T* ptr_ = nullptr;
+};
+
+}  // namespace icilk

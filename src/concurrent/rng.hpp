@@ -1,0 +1,59 @@
+// Per-worker pseudo-random number generation (xoshiro256**).
+//
+// The Adaptive I-Cilk baseline needs fast thread-local randomness for victim
+// selection; std::mt19937 is larger and slower than needed. Seeding mixes a
+// user seed with the stream id via splitmix64 so each worker gets an
+// independent stream deterministically (important for reproducible tests).
+#pragma once
+
+#include <cstdint>
+
+namespace icilk {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull,
+                      std::uint64_t stream = 0) {
+    std::uint64_t x = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+    for (auto& s : state_) s = splitmix64(x);
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  std::uint32_t bounded(std::uint32_t bound) noexcept {
+    return static_cast<std::uint32_t>(
+        (static_cast<__uint128_t>(next() >> 32) * bound) >> 32);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace icilk

@@ -1,0 +1,75 @@
+// A small test-and-test-and-set spinlock with progressive backoff.
+//
+// Used for short critical sections (deque structure mutation, waiter-list
+// registration) where a std::mutex would be heavier than the section it
+// protects. Because this project may run heavily oversubscribed (many more
+// worker threads than cores), the lock yields to the OS scheduler after a
+// few failed rounds instead of burning the whole timeslice.
+#pragma once
+
+#include <atomic>
+#include <sched.h>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace icilk {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    int spins = 0;
+    for (;;) {
+      // Optimistic exchange first: uncontended acquire is a single RMW.
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      // Contended: spin on a plain load to avoid cache-line ping-pong,
+      // yielding after a while (crucial when threads > cores).
+      while (locked_.load(std::memory_order_relaxed)) {
+        if (++spins < 64) {
+          cpu_relax();
+        } else {
+          spins = 0;
+          sched_yield();
+        }
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// RAII guard, usable with any lockable (SpinLock or std::mutex).
+template <typename Lock>
+class LockGuard {
+ public:
+  explicit LockGuard(Lock& l) : lock_(l) { lock_.lock(); }
+  ~LockGuard() { lock_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Lock& lock_;
+};
+
+}  // namespace icilk

@@ -1,0 +1,491 @@
+#include "core/adaptive_scheduler.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/runtime.hpp"
+
+namespace icilk {
+
+AdaptiveScheduler::AdaptiveScheduler(Variant v, const Params& p)
+    : variant_(v), params_(p) {}
+
+AdaptiveScheduler::~AdaptiveScheduler() { stop(); }
+
+const char* AdaptiveScheduler::name() const {
+  switch (variant_) {
+    case Variant::Adaptive:
+      return "adaptive";
+    case Variant::PlusAging:
+      return "adaptive+aging";
+    case Variant::Greedy:
+      return "adaptive-greedy";
+  }
+  return "?";
+}
+
+void AdaptiveScheduler::attach(Runtime& rt) {
+  Scheduler::attach(rt);
+  num_workers_ = rt.num_workers();
+  num_levels_ = rt.config().num_levels;
+  assert(num_levels_ >= 1 && num_levels_ <= PriorityBitfield::kMaxLevels);
+
+  slots_ = std::vector<PoolSlot>(
+      static_cast<std::size_t>(num_levels_) * num_workers_);
+  if (greedy()) {
+    central_.reserve(num_levels_);
+    for (int i = 0; i < num_levels_; ++i) {
+      central_.push_back(make_deque_pool(PoolKind::FaaTwoQueue));
+    }
+  }
+  assignment_ = std::vector<std::atomic<int>>(num_workers_);
+  for (auto& a : assignment_) a.store(0, std::memory_order_relaxed);
+  rr_ = std::vector<std::atomic<std::uint64_t>>(num_levels_);
+  for (auto& r : rr_) r.store(0, std::memory_order_relaxed);
+  last_work_ticks_.assign(num_workers_, 0);
+}
+
+void AdaptiveScheduler::start() {
+  last_quantum_ticks_ = now_ticks();
+  allocator_ = std::thread([this] { allocator_main(); });
+}
+
+void AdaptiveScheduler::stop() {
+  stop_.store(true, std::memory_order_seq_cst);
+  if (allocator_.joinable()) allocator_.join();
+}
+
+// ---------------------------------------------------------------------------
+// Pool membership (randomized bottom level)
+// ---------------------------------------------------------------------------
+
+void AdaptiveScheduler::insert_into_slot(PoolSlot& s, int slot_worker,
+                                         Ref<Deque> d) {
+  LockGuard<SpinLock> g(s.mu);
+  d->pool_owner.store(slot_worker, std::memory_order_relaxed);
+  d->pool_index = s.deques.size();
+  s.deques.push_back(std::move(d));
+}
+
+void AdaptiveScheduler::remove_from_pool(Deque& d) {
+  const Priority level = d.priority();
+  for (;;) {
+    const int owner = d.pool_owner.load(std::memory_order_acquire);
+    if (owner < 0) return;
+    PoolSlot& s = slot(level, owner);
+    LockGuard<SpinLock> g(s.mu);
+    if (d.pool_owner.load(std::memory_order_relaxed) != owner) {
+      continue;  // rebalanced away while we were locking; chase it
+    }
+    const std::size_t idx = d.pool_index;
+    assert(idx < s.deques.size() && s.deques[idx].get() == &d);
+    // Swap-remove; fix the moved deque's index.
+    if (idx + 1 != s.deques.size()) {
+      s.deques[idx] = std::move(s.deques.back());
+      s.deques[idx]->pool_index = idx;
+    }
+    s.deques.pop_back();
+    d.pool_owner.store(-1, std::memory_order_release);
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler hooks
+// ---------------------------------------------------------------------------
+
+void AdaptiveScheduler::on_push(Worker& w) {
+  Deque* d = w.active.get();
+  if (greedy()) {
+    if (d->mark_enqueued()) {
+      central_[d->priority()]->push_regular(Ref<Deque>::share(d));
+    }
+    return;
+  }
+  if (d->pool_owner.load(std::memory_order_acquire) < 0) {
+    insert_into_slot(slot(d->priority(), w.id), w.id, Ref<Deque>::share(d));
+  }
+}
+
+void AdaptiveScheduler::on_resumable(Ref<Deque> d) {
+  const Priority p = d->priority();
+  assert(p < num_levels_ && "priority exceeds configured num_levels");
+  if (greedy()) {
+    if (d->mark_enqueued()) {
+      central_[p]->push_regular(std::move(d));
+    }
+    return;
+  }
+  const int owner = d->pool_owner.load(std::memory_order_acquire);
+  if (owner >= 0) {
+    // Was suspended WITH stealable entries, so it never left its pool; it
+    // is already discoverable. PlusAging still records resumption order.
+    if (plus_aging()) {
+      PoolSlot& s = slot(p, owner);
+      LockGuard<SpinLock> g(s.mu);
+      s.aging_fifo.push_back(std::move(d));
+    }
+    return;
+  }
+  // Reinsert (paper: removed-when-suspended deques come back on
+  // resumption); spread across slots round-robin so stealing probability
+  // stays roughly even between rebalances.
+  const int target = static_cast<int>(
+      rr_[p].fetch_add(1, std::memory_order_relaxed) % num_workers_);
+  PoolSlot& s = slot(p, target);
+  if (plus_aging()) {
+    LockGuard<SpinLock> g(s.mu);
+    d->pool_owner.store(target, std::memory_order_relaxed);
+    d->pool_index = s.deques.size();
+    s.deques.push_back(d);
+    s.aging_fifo.push_back(std::move(d));
+  } else {
+    insert_into_slot(s, target, std::move(d));
+  }
+}
+
+void AdaptiveScheduler::on_suspend(Worker& w, Deque& d) {
+  if (greedy()) return;  // lazy, like Prompt
+  // Strict invariant: non-stealable suspended deques leave the pools
+  // (steals from them would be "completely unproductive", Section 2).
+  if (!d.has_entries()) remove_from_pool(d);
+}
+
+void AdaptiveScheduler::on_deque_dead(Worker& w, Deque& d) {
+  if (greedy()) return;  // thieves drop dead deques lazily
+  remove_from_pool(d);
+}
+
+void AdaptiveScheduler::pre_op_check(Worker& w) {
+  // Adaptive workers migrate only when the top-level allocator reassigned
+  // them (quantum boundaries). A cheap assignment test keeps the hot path
+  // nearly free, honouring the work-first principle this baseline follows.
+  const int target = assignment_[w.id].load(std::memory_order_relaxed);
+  if (target == w.level) return;
+
+  w.stats.abandons++;
+  TaskFiber* self = w.current;
+  rt_->park_current([this, self] {
+    Worker& w2 = *this_worker();
+    Ref<Deque> d = std::move(w2.active);
+    const Priority p = d->priority();
+    if (greedy()) {
+      // Queue membership first, state flip last: the instant abandon()
+      // runs, a thief may mug the deque (it might already sit in the
+      // central queue), and from then on ONLY the mugger may do
+      // bookkeeping on it.
+      d->abandon(self);
+      if (d->mark_enqueued()) central_[p]->push_mugging(std::move(d));
+      return;
+    }
+    // Randomized bottom: make the deque discoverable (pool + aging FIFO)
+    // while it is still Active — thieves finding it early can at most
+    // steal entries or hit a failed mug — and only then make it
+    // resumable. Doing this in the opposite order lets a thief mug it and
+    // run its own insert_into_slot concurrently with ours, corrupting
+    // pool indices.
+    const int owner = d->pool_owner.load(std::memory_order_acquire);
+    int home = owner;
+    if (owner < 0) {
+      home = static_cast<int>(
+          rr_[p].fetch_add(1, std::memory_order_relaxed) % num_workers_);
+      insert_into_slot(slot(p, home), home, d);
+    }
+    if (plus_aging()) {
+      PoolSlot& s = slot(p, home);
+      LockGuard<SpinLock> g(s.mu);
+      s.aging_fifo.push_back(d);
+    }
+    d->abandon(self);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Finding work
+// ---------------------------------------------------------------------------
+
+bool AdaptiveScheduler::adopt_mugged(Worker& w, Ref<Deque> d, Continuation&& c,
+                                     Priority level) {
+  w.stats.mugs++;
+  if (!greedy()) {
+    // The deque becomes OUR active deque; move it out of the victim's pool
+    // and, if it still has stealable entries, into ours.
+    remove_from_pool(*d);
+    if (d->has_entries()) {
+      insert_into_slot(slot(level, w.id), w.id, d);
+    }
+  }
+  w.level = level;
+  w.active = std::move(d);
+  w.next = std::move(c);
+  return true;
+}
+
+bool AdaptiveScheduler::adopt_stolen(Worker& w, TaskFiber* f, Priority level) {
+  w.stats.steals++;
+  auto nd = Ref<Deque>::adopt(new Deque(level, rt_->census_slot(level)));
+  w.stats.deques_created++;
+  w.level = level;
+  w.active = std::move(nd);
+  w.next = Continuation::of_fiber(f);
+  return true;
+}
+
+bool AdaptiveScheduler::try_aging(Worker& w, PoolSlot& s, Priority level,
+                                  int victim) {
+  // Consume the victim's resumable FIFO front-first; entries that were
+  // already mugged elsewhere are stale and get skipped.
+  for (;;) {
+    Ref<Deque> d;
+    {
+      LockGuard<SpinLock> g(s.mu);
+      if (s.aging_head >= s.aging_fifo.size()) {
+        s.aging_fifo.clear();
+        s.aging_head = 0;
+        return false;
+      }
+      d = std::move(s.aging_fifo[s.aging_head++]);
+    }
+    Continuation c;
+    if (d->try_mug(c)) {
+      return adopt_mugged(w, std::move(d), std::move(c), level);
+    }
+  }
+}
+
+bool AdaptiveScheduler::try_slot(Worker& w, Priority level, int victim) {
+  PoolSlot& s = slot(level, victim);
+  if (plus_aging() && try_aging(w, s, level, victim)) return true;
+
+  Ref<Deque> d;
+  {
+    LockGuard<SpinLock> g(s.mu);
+    if (s.deques.empty()) return false;
+    const std::size_t idx = w.rng.bounded(
+        static_cast<std::uint32_t>(s.deques.size()));
+    d = s.deques[idx];  // share; membership decided after the attempt
+  }
+  Continuation c;
+  if (d->try_mug(c)) {
+    return adopt_mugged(w, std::move(d), std::move(c), level);
+  }
+  if (TaskFiber* f = d->steal_top()) {
+    // Strict invariant upkeep: a suspended deque we just emptied leaves
+    // the pool (it is no longer stealable).
+    if (!d->stealable_or_resumable() &&
+        d->state() == Deque::State::Suspended) {
+      remove_from_pool(*d);
+    }
+    return adopt_stolen(w, f, level);
+  }
+  // Unproductive probe (active-empty or dead deque lingering briefly).
+  if (d->state() == Deque::State::Dead) remove_from_pool(*d);
+  return false;
+}
+
+bool AdaptiveScheduler::greedy_try_get(Worker& w, Priority level) {
+  // Mirror of Prompt I-Cilk's thief protocol over the centralized pool
+  // (no bitfield: worker level is fixed by the top-level allocator).
+  auto drop_with_recheck = [this, level](Ref<Deque> d) {
+    d->clear_enqueued();
+    if (d->stealable_or_resumable() && d->mark_enqueued()) {
+      central_[level]->push_regular(std::move(d));
+    }
+  };
+  while (Ref<Deque> d = central_[level]->pop()) {
+    Continuation c;
+    if (d->try_mug(c)) {
+      w.stats.mugs++;
+      Ref<Deque> keep = d;
+      if (d->has_entries()) {
+        central_[level]->push_regular(std::move(d));
+      } else {
+        drop_with_recheck(std::move(d));
+      }
+      w.level = level;
+      w.active = std::move(keep);
+      w.next = std::move(c);
+      return true;
+    }
+    if (TaskFiber* f = d->steal_top()) {
+      if (d->stealable_or_resumable()) {
+        central_[level]->push_regular(std::move(d));
+      } else {
+        drop_with_recheck(std::move(d));
+      }
+      return adopt_stolen(w, f, level);
+    }
+    drop_with_recheck(std::move(d));
+  }
+  return false;
+}
+
+bool AdaptiveScheduler::acquire(Worker& w) {
+  int failed = 0;
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return false;
+    const int level = assignment_[w.id].load(std::memory_order_relaxed);
+    w.level = level;
+
+    const std::uint64_t t0 = now_ticks();
+    bool got;
+    if (greedy()) {
+      got = greedy_try_get(w, level);
+    } else {
+      got = try_slot(w, level, w.id) ||
+            try_slot(w, level,
+                     static_cast<int>(w.rng.bounded(
+                         static_cast<std::uint32_t>(num_workers_))));
+    }
+    if (got) {
+      w.stats.sched_ticks.add(now_ticks() - t0);
+      return true;
+    }
+    w.stats.failed_probes++;
+    w.stats.waste_ticks.add(now_ticks() - t0);
+    ++failed;
+    if (failed % 8 == 0) sched_yield();
+    // Oversubscription guard: with more threads than cores a hot spin
+    // starves the workers that have actual work. Counted as waste.
+    if (failed % 256 == 0) {
+      const std::uint64_t s0 = now_ticks();
+      ::usleep(200);
+      w.stats.waste_ticks.add(now_ticks() - s0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Top-level allocator
+// ---------------------------------------------------------------------------
+
+void AdaptiveScheduler::allocator_main() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    ::usleep(static_cast<useconds_t>(params_.quantum_us));
+    if (stop_.load(std::memory_order_acquire)) break;
+    reallocate();
+    if (!greedy()) {
+      for (int level = 0; level < num_levels_; ++level) {
+        rebalance_level(level);
+      }
+    }
+  }
+}
+
+void AdaptiveScheduler::reallocate() {
+  const std::uint64_t now = now_ticks();
+  const std::uint64_t qticks = std::max<std::uint64_t>(1, now - last_quantum_ticks_);
+  last_quantum_ticks_ = now;
+
+  // Per-level busy time over the last quantum, attributed by assignment.
+  std::vector<double> busy(num_levels_, 0.0);
+  std::vector<int> assigned(num_levels_, 0);
+  for (int i = 0; i < num_workers_; ++i) {
+    const std::uint64_t wt = rt_->worker_stats(i).work_ticks.total();
+    const std::uint64_t delta = wt - last_work_ticks_[i];
+    last_work_ticks_[i] = wt;
+    const int lvl = assignment_[i].load(std::memory_order_relaxed);
+    if (lvl >= 0 && lvl < num_levels_) {
+      busy[lvl] += static_cast<double>(delta);
+      assigned[lvl]++;
+    }
+  }
+
+  // Desired worker counts, highest priority first.
+  std::vector<int> quota(num_levels_, 0);
+  int remaining = num_workers_;
+  int highest_demand = -1;
+  for (int level = num_levels_ - 1; level >= 0 && remaining > 0; --level) {
+    const bool demand = rt_->census(level) > 0;
+    if (demand && highest_demand < 0) highest_demand = level;
+    int desire;
+    if (assigned[level] == 0) {
+      desire = demand ? params_.ramp : 0;
+    } else {
+      const double util =
+          busy[level] / (static_cast<double>(assigned[level]) *
+                         static_cast<double>(qticks));
+      if (util >= params_.util_threshold) {
+        desire = assigned[level] + params_.ramp;  // saturated: grow
+      } else {
+        // Shrink toward the worker count that would hit the threshold,
+        // but never below 1 while the level still has work.
+        desire = static_cast<int>(
+            std::ceil(assigned[level] * util / params_.util_threshold));
+        if (demand && desire < 1) desire = 1;
+      }
+    }
+    quota[level] = std::min(desire, remaining);
+    remaining -= quota[level];
+  }
+  // Park leftovers at the highest level with demand (they will find work
+  // first where it matters most); if the system is idle, at level 0.
+  if (remaining > 0) {
+    quota[highest_demand >= 0 ? highest_demand : 0] += remaining;
+  }
+
+  // Apply stably: keep workers where they are when quota allows, then
+  // reassign the rest top-down.
+  std::vector<int> take = quota;
+  std::vector<int> moved;
+  for (int i = 0; i < num_workers_; ++i) {
+    const int cur = assignment_[i].load(std::memory_order_relaxed);
+    if (cur >= 0 && cur < num_levels_ && take[cur] > 0) {
+      take[cur]--;
+    } else {
+      moved.push_back(i);
+    }
+  }
+  int cursor = num_levels_ - 1;
+  for (int i : moved) {
+    while (cursor >= 0 && take[cursor] == 0) --cursor;
+    const int lvl = cursor >= 0 ? cursor : 0;
+    if (cursor >= 0) take[cursor]--;
+    assignment_[i].store(lvl, std::memory_order_relaxed);
+  }
+  assign_gen_.fetch_add(1, std::memory_order_release);
+}
+
+void AdaptiveScheduler::rebalance_level(Priority level) {
+  // Even out pool-slot sizes so random victim selection approximates
+  // uniform per-deque stealing probability (Section 2). A handful of
+  // largest->smallest moves per quantum is enough; perfection is not the
+  // point, bounded work is.
+  for (int round = 0; round < num_workers_; ++round) {
+    int big = -1, small = -1;
+    std::size_t big_n = 0, small_n = SIZE_MAX;
+    for (int i = 0; i < num_workers_; ++i) {
+      PoolSlot& s = slot(level, i);
+      LockGuard<SpinLock> g(s.mu);
+      const std::size_t n = s.deques.size();
+      if (n > big_n) {
+        big_n = n;
+        big = i;
+      }
+      if (n < small_n) {
+        small_n = n;
+        small = i;
+      }
+    }
+    if (big < 0 || small < 0 || big == small || big_n <= small_n + 1) return;
+
+    // Lock in index order to avoid deadlock with concurrent rebalancers.
+    PoolSlot& a = slot(level, std::min(big, small));
+    PoolSlot& b = slot(level, std::max(big, small));
+    LockGuard<SpinLock> ga(a.mu);
+    LockGuard<SpinLock> gb(b.mu);
+    PoolSlot& from = (big < small) ? a : b;
+    PoolSlot& to = (big < small) ? b : a;
+    if (from.deques.empty()) return;
+    Ref<Deque> d = std::move(from.deques.back());
+    from.deques.pop_back();
+    d->pool_owner.store(small, std::memory_order_relaxed);
+    d->pool_index = to.deques.size();
+    to.deques.push_back(std::move(d));
+  }
+}
+
+}  // namespace icilk

@@ -1,0 +1,142 @@
+// Adaptive I-Cilk (Singer et al. [41]) and its two variants — the baselines
+// the paper evaluates against (Sections 2 and 5).
+//
+// Two-level design:
+//
+//   TOP: a centralized processor-allocating scheduler. Time is divided into
+//   quanta; at each quantum boundary it measures per-level utilization
+//   (application work done / worker-time allocated) and reassigns workers
+//   to priority levels — levels with demand grow (preference to higher
+//   priorities), under-utilized levels shrink. Workers move only at
+//   quantum boundaries (infrequently, to bound migration overhead) —
+//   which is exactly the ramp-up/ramp-down latency Prompt I-Cilk's
+//   promptness eliminates.
+//
+//   BOTTOM (per level): randomized work stealing over per-worker DEQUE
+//   POOLS. Each worker owns a lock-protected pool of deques (its active
+//   deque plus suspended-stealable and resumable ones). A thief picks a
+//   random pool slot at its level, then a random deque inside it, and
+//   steals/mugs. The top level rebalances pool sizes each quantum so every
+//   deque is stolen from with roughly equal probability. Non-stealable
+//   suspended deques are strictly REMOVED from pools and reinserted when
+//   they become resumable (the paper contrasts this with Prompt I-Cilk's
+//   lazy empties).
+//
+// Variants (Section 5, "Variants of Adaptive I-Cilk"):
+//   * plus aging    — each pool slot also keeps a FIFO of resumable deques
+//                     in resumption order; thieves consult it first
+//                     (per-worker approximation of aging).
+//   * Adaptive Greedy — keeps the two-level top but replaces the bottom
+//                     with Prompt I-Cilk's centralized FIFO pools (no
+//                     randomization, full aging) — no promptness checks.
+//
+// Like the paper's system, this scheduler has runtime parameters (quantum
+// length, utilization threshold, ramp step) that benches sweep.
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "concurrent/spinlock.hpp"
+#include "core/prompt_scheduler.hpp"  // DequePool for the Greedy variant
+#include "core/scheduler.hpp"
+
+namespace icilk {
+
+class AdaptiveScheduler final : public Scheduler {
+ public:
+  enum class Variant { Adaptive, PlusAging, Greedy };
+
+  struct Params {
+    /// Quantum length for the top-level allocator.
+    int quantum_us = 2000;
+    /// A level at or above this utilization is "saturated" and ramps up.
+    double util_threshold = 0.6;
+    /// Workers added to a saturated level per quantum.
+    int ramp = 1;
+  };
+
+  explicit AdaptiveScheduler(Variant v, const Params& p);
+  explicit AdaptiveScheduler(Variant v) : AdaptiveScheduler(v, Params{}) {}
+  AdaptiveScheduler() : AdaptiveScheduler(Variant::Adaptive) {}
+  ~AdaptiveScheduler() override;
+
+  const char* name() const override;
+  Variant variant() const noexcept { return variant_; }
+  const Params& params() const noexcept { return params_; }
+
+  void attach(Runtime& rt) override;
+  void start() override;
+  void stop() override;
+
+  bool acquire(Worker& w) override;
+  void on_push(Worker& w) override;
+  void on_resumable(Ref<Deque> d) override;
+  void on_suspend(Worker& w, Deque& d) override;
+  void on_deque_dead(Worker& w, Deque& d) override;
+  /// Adaptive workers do not do promptness checks; they only notice
+  /// quantum-boundary reassignment (cheap generation test) and abandon
+  /// their active deque to move, which is the "infrequent" migration the
+  /// design calls for.
+  void pre_op_check(Worker& w) override;
+
+  int assigned_level_for_test(int worker) const {
+    return assignment_[worker].load(std::memory_order_relaxed);
+  }
+  /// Forces one allocator pass (tests drive quanta deterministically).
+  void run_quantum_for_test() { reallocate(); }
+
+ private:
+  /// One per (level, worker-slot): the randomized bottom-level state.
+  struct alignas(kCacheLineSize) PoolSlot {
+    SpinLock mu;
+    std::vector<Ref<Deque>> deques;       // random access; swap-remove
+    std::vector<Ref<Deque>> aging_fifo;   // PlusAging: resumption order
+    std::size_t aging_head = 0;           // consumed prefix of aging_fifo
+  };
+
+  PoolSlot& slot(Priority level, int worker) {
+    return slots_[static_cast<std::size_t>(level) * num_workers_ + worker];
+  }
+
+  void insert_into_slot(PoolSlot& s, int slot_worker, Ref<Deque> d);
+  /// Removes `d` from its slot if it is in one. Safe against concurrent
+  /// movement (re-checks owner under the lock).
+  void remove_from_pool(Deque& d);
+
+  bool greedy() const noexcept { return variant_ == Variant::Greedy; }
+  bool plus_aging() const noexcept { return variant_ == Variant::PlusAging; }
+
+  // Randomized bottom level.
+  bool try_slot(Worker& w, Priority level, int victim);
+  bool try_aging(Worker& w, PoolSlot& s, Priority level, int victim);
+  bool adopt_mugged(Worker& w, Ref<Deque> d, Continuation&& c, Priority level);
+  bool adopt_stolen(Worker& w, TaskFiber* f, Priority level);
+
+  // Greedy bottom level (centralized FIFO pools, as in Prompt).
+  bool greedy_try_get(Worker& w, Priority level);
+
+  // Top-level allocator.
+  void allocator_main();
+  void reallocate();
+  void rebalance_level(Priority level);
+
+  const Variant variant_;
+  const Params params_;
+
+  int num_workers_ = 0;
+  int num_levels_ = 0;
+  std::vector<PoolSlot> slots_;                       // [level][worker]
+  std::vector<std::unique_ptr<DequePool>> central_;   // Greedy: per level
+  std::vector<std::atomic<int>> assignment_;          // worker -> level
+  std::atomic<std::uint64_t> assign_gen_{0};
+  std::vector<std::atomic<std::uint64_t>> rr_;        // per-level round robin
+  std::vector<std::uint64_t> last_work_ticks_;        // per worker, allocator
+  std::uint64_t last_quantum_ticks_ = 0;
+
+  std::thread allocator_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace icilk

@@ -1,0 +1,54 @@
+// The user-facing task-parallel API (the paper's linguistics, Section 2):
+//
+//   spawn(f)            f may run in parallel with the continuation.
+//   spawn_at(p, f)      like spawn, at priority p (cross-priority spawns
+//                       toss a deque to level p, footnote 3).
+//   sync()              waits for all children spawned by this task.
+//   fut_create(f)       starts a future routine; returns Future<T>.
+//   fut_create_at(p, f) same, at priority p.
+//   Future<T>::get()    waits for the routine; a failed get suspends the
+//                       caller's whole deque.
+//
+// All of these except Future::get must be called from task code (inside a
+// closure running on a Runtime); use Runtime::submit to enter task context.
+#pragma once
+
+#include "core/runtime.hpp"
+
+namespace icilk {
+
+inline Runtime& current_runtime() {
+  Worker* w = this_worker();
+  assert(w != nullptr && "not on a runtime worker thread");
+  return *w->rt;
+}
+
+inline void spawn(Closure f) { current_runtime().spawn_impl(std::move(f)); }
+
+inline void spawn_at(Priority p, Closure f) {
+  current_runtime().spawn_at_impl(p, std::move(f));
+}
+
+inline void sync() { current_runtime().sync_impl(); }
+
+template <typename F>
+auto fut_create(F&& f) {
+  return current_runtime().fut_create_impl(-1, std::forward<F>(f));
+}
+
+template <typename F>
+auto fut_create_at(Priority p, F&& f) {
+  return current_runtime().fut_create_impl(p, std::forward<F>(f));
+}
+
+inline Priority current_priority() {
+  return current_runtime().current_priority();
+}
+
+/// True when called from task code (a fiber on a runtime worker).
+inline bool in_task_context() {
+  Worker* w = this_worker();
+  return w != nullptr && w->current != nullptr;
+}
+
+}  // namespace icilk

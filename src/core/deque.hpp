@@ -1,0 +1,225 @@
+// The deque: one chain of execution contexts, the unit of suspension,
+// resumption, stealing, and mugging (Section 2 / Section 4 of the paper).
+//
+// A deque holds, top to bottom, the parked continuations of an ancestor
+// chain; the bottom frame is the execution point (running when Active,
+// parked when Suspended/Resumable). Lifecycle:
+//
+//     Active ──(get blocks)────────→ Suspended ──(future ready)─→ Resumable
+//     Active ──(abandoned for a higher priority)────────────────→ Resumable
+//     Active ──(bottom finished, no entries)─────────────────────→ Dead
+//     Resumable ──(mugged by a thief)→ Active
+//
+// Any state but Dead may have stealable entries; thieves take from the TOP.
+// "Immediately resumable" deques (abandoned ones) are ordinary Resumable
+// deques — the scheduler routes them to the mugging queue for aging.
+//
+// Structural mutations take a per-deque spinlock; the contention profile is
+// low (the owner plus the occasional thief), and the paper's performance
+// argument is about the *pool* data structure, not the deque itself.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <deque>
+
+#include "concurrent/ref.hpp"
+#include "concurrent/spinlock.hpp"
+#include "core/task.hpp"
+#include "core/types.hpp"
+
+namespace icilk {
+
+class Deque : public RefCounted {
+ public:
+  enum class State : std::uint8_t { Active, Suspended, Resumable, Dead };
+
+  /// `census` (optional) is a per-level "non-empty deque" gauge maintained
+  /// across state changes; it backs the paper's Figure 2.
+  Deque(Priority p, std::atomic<std::int64_t>* census)
+      : priority_(p), census_(census) {}
+
+  ~Deque() { set_counted(false); }
+
+  Priority priority() const noexcept { return priority_; }
+  State state() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  // ---- owner operations (worker whose active deque this is) ----
+
+  /// Parks the spawning parent at the bottom; it becomes stealable.
+  void push_bottom(TaskFiber* f) {
+    LockGuard<SpinLock> g(mu_);
+    assert(state_.load(std::memory_order_relaxed) == State::Active);
+    entries_.push_back(f);
+    update_census();
+  }
+
+  /// Serial fast path at child return: reclaim the parent continuation.
+  TaskFiber* pop_bottom() {
+    LockGuard<SpinLock> g(mu_);
+    if (entries_.empty()) return nullptr;
+    TaskFiber* f = entries_.back();
+    entries_.pop_back();
+    update_census();
+    return f;
+  }
+
+  /// Active -> Suspended; `bottom` is the fiber blocked on a get.
+  void suspend(TaskFiber* bottom) {
+    LockGuard<SpinLock> g(mu_);
+    assert(state_.load(std::memory_order_relaxed) == State::Active);
+    bottom_ = bottom_continuation(bottom);
+    state_.store(State::Suspended, std::memory_order_release);
+    update_census();
+  }
+
+  /// Active -> Resumable directly: the worker abandons this deque to go
+  /// work at a higher priority ("immediately resumable", Section 4).
+  void abandon(TaskFiber* bottom) {
+    LockGuard<SpinLock> g(mu_);
+    assert(state_.load(std::memory_order_relaxed) == State::Active);
+    bottom_ = bottom_continuation(bottom);
+    state_.store(State::Resumable, std::memory_order_release);
+    update_census();
+  }
+
+  /// Active+empty -> Dead (the chain is exhausted). Returns false if
+  /// entries appeared (cannot happen for the owner, kept for safety).
+  bool kill_if_exhausted() {
+    LockGuard<SpinLock> g(mu_);
+    if (!entries_.empty()) return false;
+    assert(state_.load(std::memory_order_relaxed) == State::Active);
+    state_.store(State::Dead, std::memory_order_release);
+    update_census();
+    return true;
+  }
+
+  // ---- completion side (future/I/O completion, any thread) ----
+
+  /// Suspended -> Resumable.
+  void make_resumable() {
+    LockGuard<SpinLock> g(mu_);
+    assert(state_.load(std::memory_order_relaxed) == State::Suspended);
+    state_.store(State::Resumable, std::memory_order_release);
+    update_census();
+  }
+
+  // ---- thief operations ----
+
+  /// Steals the TOPMOST (oldest) continuation; nullptr if none. Valid on
+  /// Active and Suspended (and harmlessly on Resumable — the scheduler
+  /// prefers mugging those).
+  TaskFiber* steal_top() {
+    LockGuard<SpinLock> g(mu_);
+    if (entries_.empty() ||
+        state_.load(std::memory_order_relaxed) == State::Dead) {
+      return nullptr;
+    }
+    TaskFiber* f = entries_.front();
+    entries_.pop_front();
+    update_census();
+    return f;
+  }
+
+  /// Resumable -> Active; moves the bottom continuation into `out`.
+  /// Returns false if the deque is not (or no longer) resumable.
+  bool try_mug(Continuation& out) {
+    LockGuard<SpinLock> g(mu_);
+    if (state_.load(std::memory_order_relaxed) != State::Resumable) {
+      return false;
+    }
+    out = std::move(bottom_);
+    bottom_.clear();
+    state_.store(State::Active, std::memory_order_release);
+    update_census();
+    return true;
+  }
+
+  // ---- racy peeks (requeue / bit decisions; tolerant callers only) ----
+
+  bool has_entries() const noexcept {
+    return entry_count_.load(std::memory_order_acquire) > 0;
+  }
+  std::size_t entry_count() const noexcept {
+    return entry_count_.load(std::memory_order_acquire);
+  }
+  /// Would a thief find anything here right now?
+  bool stealable_or_resumable() const noexcept {
+    return has_entries() || state() == State::Resumable;
+  }
+
+  // ---- queue-membership flag (single flag across both pool queues) ----
+
+  bool mark_enqueued() noexcept {
+    bool expected = false;
+    return in_queue_.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel);
+  }
+  void clear_enqueued() noexcept {
+    in_queue_.store(false, std::memory_order_release);
+  }
+  bool enqueued() const noexcept {
+    return in_queue_.load(std::memory_order_acquire);
+  }
+
+  /// Builds a fresh deque that starts as Resumable around a continuation —
+  /// used for cross-priority spawn ("tossed" deques, footnote 3), external
+  /// submission, and sync/future wakeups that cannot run in place.
+  static Ref<Deque> new_resumable(Continuation&& c,
+                                  std::atomic<std::int64_t>* census) {
+    auto d = Ref<Deque>::adopt(new Deque(c.priority, census));
+    d->bottom_ = std::move(c);
+    d->state_.store(State::Resumable, std::memory_order_release);
+    LockGuard<SpinLock> g(d->mu_);
+    d->update_census();
+    return d;
+  }
+
+  // ---- Adaptive I-Cilk pool membership ----
+  // Mutations happen under the owning pool slot's lock; pool_owner is
+  // atomic because membership *checks* (on_push fast path) read it racily.
+  std::atomic<int> pool_owner{-1};  ///< worker slot holding us, or -1
+  std::size_t pool_index = 0;       ///< index within that slot (swap-remove)
+
+ private:
+  /// Builds the parked-bottom continuation without dereferencing the fiber
+  /// (its priority is by construction this deque's priority).
+  Continuation bottom_continuation(TaskFiber* f) const {
+    Continuation c;
+    c.resume = f;
+    c.priority = priority_;
+    return c;
+  }
+
+  /// Recomputes the census contribution ("non-empty" = has stealable
+  /// entries or is resumable). Caller holds mu_.
+  void update_census() {
+    entry_count_.store(entries_.size(), std::memory_order_release);
+    const State s = state_.load(std::memory_order_relaxed);
+    set_counted(!entries_.empty() || s == State::Resumable);
+  }
+
+  void set_counted(bool want) {
+    if (want == counted_ || census_ == nullptr) {
+      counted_ = want;
+      return;
+    }
+    census_->fetch_add(want ? 1 : -1, std::memory_order_relaxed);
+    counted_ = want;
+  }
+
+  const Priority priority_;
+  std::atomic<std::int64_t>* const census_;
+  SpinLock mu_;
+  std::deque<TaskFiber*> entries_;  // front = top = oldest
+  Continuation bottom_;
+  std::atomic<State> state_{State::Active};
+  std::atomic<std::size_t> entry_count_{0};
+  std::atomic<bool> in_queue_{false};
+  bool counted_ = false;  // guarded by mu_
+};
+
+}  // namespace icilk

@@ -1,0 +1,161 @@
+// Futures — including the machinery behind I/O futures.
+//
+// `fut_create` starts a future routine (like spawn, but the handle escapes
+// lexical scope and is joined with `get`, not `sync`). A failed `get`
+// suspends the CALLER'S WHOLE DEQUE (Section 2): the deque may still carry
+// stealable ancestor continuations, and once the future completes the deque
+// becomes resumable and re-enters the scheduler's pool.
+//
+// FutureStateBase is deliberately type-erased: the scheduler-side protocol
+// (waiter registration, completion, wakeups) is identical for every value
+// type, and I/O completions driven by reactor threads only touch the base.
+//
+// Layering note: this header sits BELOW deque.hpp (task.hpp needs a
+// complete FutureStateBase), so waiters are stored as owned raw Deque*
+// (reference transferred in/out) and every method touching Deque is defined
+// out of line in runtime.cpp.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "concurrent/ref.hpp"
+#include "concurrent/spinlock.hpp"
+#include "core/types.hpp"
+
+namespace icilk {
+
+class FutureStateBase : public RefCounted {
+ public:
+  explicit FutureStateBase(Runtime& rt) : rt_(&rt) {}
+  /// Runtime-less state: only EXTERNAL (non-task) waits are allowed —
+  /// add_waiter asserts. Used by sync primitives when the waiter is a
+  /// plain thread with no runtime in scope; completion then signals a
+  /// process-wide condvar instead of a runtime's.
+  FutureStateBase() : rt_(nullptr) {}
+  virtual ~FutureStateBase();  // drops any leftover waiter references
+
+  bool ready() const noexcept { return ready_.load(std::memory_order_acquire); }
+
+  Runtime& runtime() const noexcept { return *rt_; }
+  bool has_runtime() const noexcept { return rt_ != nullptr; }
+
+  /// Records a failure; must precede complete(). The error rethrows at get.
+  void fail(std::exception_ptr e) noexcept { error_ = std::move(e); }
+
+  /// Marks the future ready and wakes every waiter: suspended deques become
+  /// resumable and are handed to the scheduler; external (non-worker)
+  /// waiters are notified. Called exactly once, after the value (or error)
+  /// is in place.
+  void complete();
+
+  /// Registers a suspended deque to be resumed on completion. Returns
+  /// false if the future is already ready (caller resumes it itself).
+  /// The deque must already be in the Suspended state.
+  bool add_waiter(Ref<Deque> d);
+
+  /// Blocking wait for threads that are not runtime workers (drivers,
+  /// tests, the main thread).
+  void wait_external();
+
+  void rethrow_if_error() {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  friend class Runtime;
+
+  Runtime* rt_;
+  std::atomic<bool> ready_{false};
+  SpinLock mu_;
+  std::vector<Deque*> waiters_;  // each entry holds one reference
+  std::exception_ptr error_;
+  std::atomic<bool> has_external_waiter_{false};
+
+  /// Priority of the producing routine, for inversion detection (see
+  /// RuntimeConfig::detect_priority_inversions). kUnknownPriority until
+  /// the routine is created; I/O futures use the reactor's setting.
+  static constexpr int kUnknownPriority = -1;
+  std::atomic<int> routine_priority_{kUnknownPriority};
+
+ public:
+  void set_routine_priority(Priority p) noexcept {
+    routine_priority_.store(p, std::memory_order_relaxed);
+  }
+  int routine_priority() const noexcept {
+    return routine_priority_.load(std::memory_order_relaxed);
+  }
+};
+
+template <typename T>
+class FutureState final : public FutureStateBase {
+ public:
+  using FutureStateBase::FutureStateBase;
+
+  void set_value(T v) { value_.emplace(std::move(v)); }
+  T& value() { return *value_; }
+
+ private:
+  std::optional<T> value_;
+};
+
+template <>
+class FutureState<void> final : public FutureStateBase {
+ public:
+  using FutureStateBase::FutureStateBase;
+};
+
+/// Blocks the caller until `st` is ready: worker fibers suspend their deque
+/// (scheduler finds other work), external threads block on a condvar.
+void future_wait(FutureStateBase& st);
+
+/// Handle to a future's eventual value. Copyable (shared state).
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(Ref<FutureState<T>> st) : st_(std::move(st)) {}
+
+  bool valid() const noexcept { return bool(st_); }
+  bool ready() const noexcept { return st_ && st_->ready(); }
+
+  /// Waits for completion and returns a COPY of the value — future handles
+  /// are shared, and any number of tasks may call get() on the same future
+  /// (that expressiveness is the point of futures, Section 2), so the
+  /// stored value must survive each get. Rethrows the routine's exception.
+  T get() {
+    future_wait(*st_);
+    st_->rethrow_if_error();
+    return st_->value();
+  }
+
+  Ref<FutureState<T>>& state() noexcept { return st_; }
+
+ private:
+  Ref<FutureState<T>> st_;
+};
+
+template <>
+class Future<void> {
+ public:
+  Future() = default;
+  explicit Future(Ref<FutureState<void>> st) : st_(std::move(st)) {}
+
+  bool valid() const noexcept { return bool(st_); }
+  bool ready() const noexcept { return st_ && st_->ready(); }
+
+  void get() {
+    future_wait(*st_);
+    st_->rethrow_if_error();
+  }
+
+  Ref<FutureState<void>>& state() noexcept { return st_; }
+
+ private:
+  Ref<FutureState<void>> st_;
+};
+
+}  // namespace icilk

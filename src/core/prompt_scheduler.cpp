@@ -1,0 +1,334 @@
+#include "core/prompt_scheduler.hpp"
+
+#include <chrono>
+#include <deque>
+
+#include "core/runtime.hpp"
+
+namespace icilk {
+
+// ---------------------------------------------------------------------------
+// Pool implementations
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The paper's pool: two FAA FIFO queues; mugging queue serviced first.
+class FaaTwoQueuePool final : public DequePool {
+ public:
+  void push_regular(Ref<Deque> d) override { regular_.push(d.release()); }
+  void push_mugging(Ref<Deque> d) override { mugging_.push(d.release()); }
+  Ref<Deque> pop() override {
+    if (Deque* d = mugging_.pop()) return Ref<Deque>::adopt(d);
+    if (Deque* d = regular_.pop()) return Ref<Deque>::adopt(d);
+    return nullptr;
+  }
+  bool empty() const override { return mugging_.empty() && regular_.empty(); }
+  std::size_t size_approx() const override {
+    return mugging_.size_approx() + regular_.size_approx();
+  }
+
+ private:
+  FaaQueue<Deque> regular_;
+  FaaQueue<Deque> mugging_;
+};
+
+/// Ablation: one FIFO — abandoned deques enter at the tail and get de-aged
+/// behind deques that became resumable earlier (the problem Section 4's
+/// mugging queue exists to fix).
+class FaaSingleQueuePool final : public DequePool {
+ public:
+  void push_regular(Ref<Deque> d) override { q_.push(d.release()); }
+  void push_mugging(Ref<Deque> d) override { q_.push(d.release()); }
+  Ref<Deque> pop() override {
+    if (Deque* d = q_.pop()) return Ref<Deque>::adopt(d);
+    return nullptr;
+  }
+  bool empty() const override { return q_.empty(); }
+  std::size_t size_approx() const override { return q_.size_approx(); }
+
+ private:
+  FaaQueue<Deque> q_;
+};
+
+/// Ablation: identical protocol over a mutex-protected std::deque —
+/// isolates the cost of the lock-free FAA structure.
+class MutexFifoPool final : public DequePool {
+ public:
+  void push_regular(Ref<Deque> d) override {
+    LockGuard<SpinLock> g(mu_);
+    q_.push_back(std::move(d));
+  }
+  void push_mugging(Ref<Deque> d) override {
+    LockGuard<SpinLock> g(mu_);
+    q_.push_front(std::move(d));  // approximate the mugging queue priority
+  }
+  Ref<Deque> pop() override {
+    LockGuard<SpinLock> g(mu_);
+    if (q_.empty()) return nullptr;
+    Ref<Deque> d = std::move(q_.front());
+    q_.pop_front();
+    return d;
+  }
+  bool empty() const override {
+    LockGuard<SpinLock> g(mu_);
+    return q_.empty();
+  }
+  std::size_t size_approx() const override {
+    LockGuard<SpinLock> g(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable SpinLock mu_;
+  std::deque<Ref<Deque>> q_;
+};
+
+/// Ablation: no aging — newest-first (LIFO) service order.
+class LifoStackPool final : public DequePool {
+ public:
+  void push_regular(Ref<Deque> d) override {
+    LockGuard<SpinLock> g(mu_);
+    q_.push_back(std::move(d));
+  }
+  void push_mugging(Ref<Deque> d) override { push_regular(std::move(d)); }
+  Ref<Deque> pop() override {
+    LockGuard<SpinLock> g(mu_);
+    if (q_.empty()) return nullptr;
+    Ref<Deque> d = std::move(q_.back());
+    q_.pop_back();
+    return d;
+  }
+  bool empty() const override {
+    LockGuard<SpinLock> g(mu_);
+    return q_.empty();
+  }
+  std::size_t size_approx() const override {
+    LockGuard<SpinLock> g(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable SpinLock mu_;
+  std::vector<Ref<Deque>> q_;
+};
+
+thread_local int tls_check_counter = 0;
+
+}  // namespace
+
+std::unique_ptr<DequePool> make_deque_pool(PoolKind kind) {
+  switch (kind) {
+    case PoolKind::FaaTwoQueue:
+      return std::make_unique<FaaTwoQueuePool>();
+    case PoolKind::FaaSingleQueue:
+      return std::make_unique<FaaSingleQueuePool>();
+    case PoolKind::MutexFifo:
+      return std::make_unique<MutexFifoPool>();
+    case PoolKind::LifoStack:
+      return std::make_unique<LifoStackPool>();
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// PromptScheduler
+// ---------------------------------------------------------------------------
+
+PromptScheduler::PromptScheduler(const Options& opts) : opts_(opts) {
+  pools_.reserve(PriorityBitfield::kMaxLevels);
+  for (int i = 0; i < PriorityBitfield::kMaxLevels; ++i) {
+    pools_.push_back(make_deque_pool(opts_.pool_kind));
+  }
+}
+
+void PromptScheduler::attach(Runtime& rt) { Scheduler::attach(rt); }
+
+void PromptScheduler::stop() {
+  stop_.store(true, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> g(sleep_mu_);
+  sleep_cv_.notify_all();
+}
+
+void PromptScheduler::set_bit(Priority p) {
+  const std::uint64_t old = bits_.set(p);
+  // Wake one sleeper per unit of arriving work (wake rate tracks push
+  // rate): waking everyone on each 0 -> non-zero transition — the obvious
+  // reading of the paper's broadcast — thrashes when worker threads
+  // outnumber cores, which is this reproduction's hardware reality.
+  // Deliberately NO lock here: taking sleep_mu_ on the push path convoys
+  // every I/O completion behind sleeping workers. The missed-wakeup
+  // window this opens (a sleeper between its predicate check and its
+  // wait) is bounded by the sleeper's wait_for timeout in idle_sleep.
+  if (old == 0 || sleepers_.load(std::memory_order_relaxed) > 0) {
+    sleep_cv_.notify_one();
+  }
+}
+
+void PromptScheduler::double_check_clear(Priority p) {
+  bits_.clear(p);
+  if (!pools_[p]->empty()) set_bit(p);
+}
+
+void PromptScheduler::on_push(Worker& w) {
+  Deque* d = w.active.get();
+  if (d->mark_enqueued()) {
+    pools_[d->priority()]->push_regular(Ref<Deque>::share(d));
+  }
+  set_bit(d->priority());
+}
+
+void PromptScheduler::on_resumable(Ref<Deque> d) {
+  const Priority p = d->priority();
+  if (d->mark_enqueued()) {
+    pools_[p]->push_regular(std::move(d));
+  }
+  // Set the bit even if the deque was already queued: a thief may be
+  // mid-double-check; redundant sets are harmless.
+  set_bit(p);
+}
+
+void PromptScheduler::requeue_regular(Ref<Deque> d) {
+  const Priority p = d->priority();
+  pools_[p]->push_regular(std::move(d));
+  set_bit(p);
+}
+
+void PromptScheduler::drop_with_recheck(Ref<Deque> d) {
+  d->clear_enqueued();
+  // Re-check: the deque may have gained work or become resumable between
+  // our peek and the flag clear — mirror of the bitfield double check.
+  if (d->stealable_or_resumable() && d->mark_enqueued()) {
+    requeue_regular(std::move(d));
+  }
+}
+
+bool PromptScheduler::process_candidate(Worker& w, Ref<Deque> d, Priority h) {
+  Continuation c;
+  if (d->try_mug(c)) {
+    w.stats.mugs++;
+    Ref<Deque> keep = d;  // our active reference
+    if (d->has_entries()) {
+      requeue_regular(std::move(d));  // still stealable: back to the tail
+    } else {
+      drop_with_recheck(std::move(d));
+    }
+    w.level = h;
+    w.active = std::move(keep);
+    w.next = std::move(c);
+    return true;
+  }
+  if (TaskFiber* f = d->steal_top()) {
+    w.stats.steals++;
+    if (d->stealable_or_resumable()) {
+      requeue_regular(std::move(d));
+    } else {
+      drop_with_recheck(std::move(d));
+    }
+    // The stolen continuation becomes the bottom of a fresh deque.
+    auto nd = Ref<Deque>::adopt(new Deque(h, rt_->census_slot(h)));
+    w.stats.deques_created++;
+    w.level = h;
+    w.active = std::move(nd);
+    w.next = Continuation::of_fiber(f);
+    return true;
+  }
+  // Empty (lazily lingering) or dead: drop it and look further.
+  drop_with_recheck(std::move(d));
+  return false;
+}
+
+bool PromptScheduler::try_get_work(Worker& w, Priority h) {
+  while (Ref<Deque> d = pools_[h]->pop()) {
+    if (process_candidate(w, std::move(d), h)) return true;
+  }
+  return false;
+}
+
+bool PromptScheduler::acquire(Worker& w) {
+  int failed_rounds = 0;
+  int empty_rounds = 0;  // consecutive all-zero bitfield sightings
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return false;
+
+    const std::uint64_t t0 = now_ticks();
+    const int h = PriorityBitfield::highest_of(bits_.load());
+    if (h < 0) {
+      if (opts_.sleep_when_idle) {
+        // Brief pre-sleep backoff: at steady moderate load, new work lands
+        // within microseconds of the field going empty, and an immediate
+        // condvar sleep turns every such request into a futex wake storm
+        // (notify broadcasts, per the paper). A few yielding re-checks
+        // absorb that; a genuinely idle worker still reaches the condvar
+        // almost immediately. Counted as waste either way.
+        if (++empty_rounds <= 8) {
+          sched_yield();
+        } else {
+          idle_sleep(w);
+          empty_rounds = 0;
+        }
+      } else {
+        if (++failed_rounds % 16 == 0) sched_yield();
+        cpu_relax();
+      }
+      w.stats.waste_ticks.add(now_ticks() - t0);
+      continue;
+    }
+    empty_rounds = 0;
+
+    if (try_get_work(w, h)) {
+      w.stats.sched_ticks.add(now_ticks() - t0);
+      return true;
+    }
+
+    // Pool drained: clear the bit with the double check, then try again
+    // from the (possibly different) highest level.
+    double_check_clear(h);
+    w.stats.failed_probes++;
+    w.stats.waste_ticks.add(now_ticks() - t0);
+    if (++failed_rounds % 16 == 0) sched_yield();
+  }
+}
+
+void PromptScheduler::idle_sleep(Worker& w) {
+  std::unique_lock<std::mutex> lk(sleep_mu_);
+  if (bits_.load() != 0 || stop_.load(std::memory_order_acquire)) return;
+  w.stats.sleeps++;
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  // Bounded wait: the notifier does not hold sleep_mu_ (see set_bit), so
+  // a wakeup issued in our check->wait window can be missed; the timeout
+  // caps that at 2ms, which only an otherwise-idle system ever pays.
+  sleep_cv_.wait_for(lk, std::chrono::milliseconds(2), [&] {
+    return bits_.load() != 0 || stop_.load(std::memory_order_acquire);
+  });
+  sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void PromptScheduler::pre_op_check(Worker& w) {
+  if (opts_.check_period == 0) return;  // ablation: work-first, no checks
+  if (opts_.check_period > 1 &&
+      (++tls_check_counter % opts_.check_period) != 0) {
+    return;
+  }
+  // One seq_cst snapshot, as the paper prescribes for bitfield reads.
+  if (!bits_.has_higher_than(w.level)) return;
+
+  // Higher-priority work exists: abandon the active deque (it becomes
+  // "immediately resumable" and enters the mugging queue so it is not
+  // de-aged) and let the worker loop re-acquire at the higher level.
+  w.stats.abandons++;
+  TaskFiber* self = w.current;
+  rt_->park_current([this, self] {
+    Worker& w2 = *this_worker();
+    Ref<Deque> d = std::move(w2.active);
+    d->abandon(self);
+    const Priority p = d->priority();
+    if (d->mark_enqueued()) {
+      pools_[p]->push_mugging(std::move(d));
+    }
+    set_bit(p);
+  });
+  // Resumed later by a mug (possibly our own worker coming back down).
+}
+
+}  // namespace icilk

@@ -1,0 +1,123 @@
+// Prompt I-Cilk (Section 4 of the paper).
+//
+// Within a priority level: a hybrid of work stealing and work sharing with
+// NO randomization. One centralized deque pool per level, implemented as
+// two non-blocking FAA FIFO queues:
+//   * the regular queue — deques enter at the tail when they gain stealable
+//     work or become resumable; FIFO order implements the aging heuristic;
+//   * the mugging queue — only "immediately resumable" deques abandoned by
+//     workers that moved to a higher priority; serviced BEFORE the regular
+//     queue so abandonment does not de-age a deque.
+//
+// Thieves pop the head: a resumable deque is mugged whole; a deque with
+// stealable entries loses its topmost continuation; either way, if the
+// deque still has stealable work it returns to the regular tail. Empty
+// deques encountered at the head are simply dropped (lazy removal) — the
+// pool tolerates empty deques; the invariant maintained is that every
+// NON-EMPTY deque is discoverable.
+//
+// Across priority levels: the 64-bit bitfield and frequent checking give
+// promptness; workers finding the field all-zero sleep on a condition
+// variable and are broadcast awake on the 0 -> non-zero transition.
+//
+// The Options knobs exist for the ablation benches; the defaults are the
+// paper's design.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "concurrent/bitfield.hpp"
+#include "concurrent/faa_queue.hpp"
+#include "concurrent/spinlock.hpp"
+#include "core/scheduler.hpp"
+
+namespace icilk {
+
+/// One priority level's centralized pool. Implementations differ only in
+/// data structure (for ablations); the protocol (flag discipline, lazy
+/// empties) is shared and lives in the scheduler.
+class DequePool {
+ public:
+  virtual ~DequePool() = default;
+  /// Regular (aging) insertion at the tail.
+  virtual void push_regular(Ref<Deque> d) = 0;
+  /// Immediately-resumable (abandoned) insertion; FaaTwoQueue routes these
+  /// to the dedicated mugging queue, other kinds merge them.
+  virtual void push_mugging(Ref<Deque> d) = 0;
+  /// Next candidate deque (mugging queue first where applicable).
+  virtual Ref<Deque> pop() = 0;
+  virtual bool empty() const = 0;
+  virtual std::size_t size_approx() const = 0;
+};
+
+enum class PoolKind {
+  FaaTwoQueue,    ///< the paper's design: FAA FIFO x2 (regular + mugging)
+  FaaSingleQueue, ///< ablation: no mugging queue (abandons get de-aged)
+  MutexFifo,      ///< ablation: same protocol over a mutexed std::deque
+  LifoStack,      ///< ablation: no aging at all (newest-first service)
+};
+
+std::unique_ptr<DequePool> make_deque_pool(PoolKind kind);
+
+class PromptScheduler final : public Scheduler {
+ public:
+  struct Options {
+    PoolKind pool_kind = PoolKind::FaaTwoQueue;
+    /// Promptness: check the bitfield at every spawn/sync/fut_create/get.
+    /// Setting a period N > 1 only checks every Nth op (ablation);
+    /// 0 disables abandonment entirely (work-first, ablation).
+    int check_period = 1;
+    /// Sleep on the condition variable when the bitfield is zero (paper
+    /// behaviour); false spins with backoff (ablation).
+    bool sleep_when_idle = true;
+  };
+
+  PromptScheduler() : PromptScheduler(Options{}) {}
+  explicit PromptScheduler(const Options& opts);
+
+  const char* name() const override { return "prompt"; }
+
+  void attach(Runtime& rt) override;
+  void stop() override;
+
+  bool acquire(Worker& w) override;
+  void on_push(Worker& w) override;
+  void on_resumable(Ref<Deque> d) override;
+  void pre_op_check(Worker& w) override;
+
+  const PriorityBitfield& bitfield() const noexcept { return bits_; }
+  std::size_t pool_size_approx(Priority p) const {
+    return pools_[p]->size_approx();
+  }
+
+ private:
+  /// Tries to obtain work at level `h`; on success fills w.active/w.next.
+  bool try_get_work(Worker& w, Priority h);
+  /// Handles one popped candidate; true if it yielded work for `w`.
+  bool process_candidate(Worker& w, Ref<Deque> d, Priority h);
+  /// Deque is being kept out of the pool: clear its flag, then re-check
+  /// visibility (it may have refilled / become resumable mid-flight).
+  void drop_with_recheck(Ref<Deque> d);
+  /// Push to the regular tail; deque's enqueued flag must already be set.
+  void requeue_regular(Ref<Deque> d);
+  /// Sets bit p; broadcasts the sleepers on a 0 -> non-zero transition.
+  void set_bit(Priority p);
+  /// The paper's double-check: clear bit p, re-check the pool, restore the
+  /// bit if the pool turned out non-empty.
+  void double_check_clear(Priority p);
+  void idle_sleep(Worker& w);
+
+  Options opts_;
+  PriorityBitfield bits_;
+  std::vector<std::unique_ptr<DequePool>> pools_;  // [64]
+
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace icilk

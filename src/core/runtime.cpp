@@ -1,0 +1,516 @@
+#include "core/runtime.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace icilk {
+
+namespace {
+thread_local Worker* tls_worker = nullptr;
+}  // namespace
+
+// CRITICAL: fibers migrate between OS threads across parks, but compilers
+// legitimately cache thread_local addresses/values within a function (a
+// plain function cannot change threads mid-body -- ours can). Every read
+// that may follow a park MUST therefore go through this accessor, which
+// noipa makes fully opaque so each call re-derives the current thread's
+// slot. Direct tls_worker access is only allowed in worker_main (which
+// never migrates).
+__attribute__((noipa)) Worker* this_worker() noexcept { return tls_worker; }
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(const RuntimeConfig& cfg, std::unique_ptr<Scheduler> sched)
+    : cfg_(cfg), sched_(std::move(sched)), stacks_(cfg.stack_size) {
+  assert(cfg_.num_workers >= 1);
+  sched_->attach(*this);
+  workers_.reserve(cfg_.num_workers);
+  for (int i = 0; i < cfg_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(*this, i, cfg_.seed));
+  }
+  threads_.reserve(cfg_.num_workers);
+  for (int i = 0; i < cfg_.num_workers; ++i) {
+    threads_.emplace_back([this, i] { worker_main(*workers_[i]); });
+  }
+  sched_->start();
+}
+
+Runtime::~Runtime() {
+  shutdown();
+  for (TaskFiber* tf : fiber_pool_) delete tf;
+}
+
+void Runtime::shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) {
+    // Already shut down; just make sure threads are joined.
+  }
+  sched_->stop();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop
+// ---------------------------------------------------------------------------
+
+void Runtime::worker_main(Worker& w) {
+  tls_worker = &w;
+  for (;;) {
+    if (!w.next.valid()) {
+      if (w.active) retire_active(w);
+      if (!sched_->acquire(w)) break;
+      assert(w.next.valid() && w.active &&
+             w.active->state() == Deque::State::Active &&
+             w.active->priority() == w.level);
+    }
+    run_next(w);
+  }
+  tls_worker = nullptr;
+}
+
+void Runtime::retire_active(Worker& w) {
+  // Only an exhausted Active deque reaches here: suspension/abandonment
+  // paths clear w.active in their publish callbacks.
+  assert(w.active->state() == Deque::State::Active);
+  if (w.active->kill_if_exhausted()) {
+    sched_->on_deque_dead(w, *w.active);
+  }
+  w.active.reset();
+}
+
+void Runtime::run_next(Worker& w) {
+  Continuation c = std::move(w.next);
+  w.next.clear();
+
+  TaskFiber* tf;
+  if (c.resume != nullptr) {
+    tf = c.resume;
+  } else {
+    tf = alloc_task_fiber();
+    tf->st.rt = this;
+    tf->st.parent = c.parent;
+    tf->st.future = std::move(c.future);
+    tf->st.priority = c.priority;
+    tf->fiber.prepare(
+        [this, tf, body = std::move(c.start)](Fiber&) mutable {
+          try {
+            body();
+          } catch (...) {
+            if (tf->st.future) {
+              tf->st.future->fail(std::current_exception());
+            } else {
+              // Like Cilk: an exception escaping a task with no handle to
+              // carry it is fatal.
+              std::fprintf(stderr,
+                           "icilk: uncaught exception in spawned task\n");
+              std::terminate();
+            }
+          }
+          body = nullptr;  // release captures before the implicit sync
+          // Implicit sync at task end (Cilk semantics): the task's frame
+          // must be quiescent before its fiber is recycled.
+          sync_impl();
+        },
+        [this, tf] { finish_task(tf); });
+  }
+
+  assert(tf->st.priority == w.level);
+  w.current = tf;
+  const std::uint64_t t0 = now_ticks();
+  switch_context(w.sched_ctx, tf->fiber.context());
+  w.stats.work_ticks.add(now_ticks() - t0);
+  w.current = nullptr;
+  if (w.post_switch) {
+    auto publish = std::move(w.post_switch);
+    w.post_switch = nullptr;
+    publish();
+  }
+}
+
+void Runtime::park_current(std::function<void()> publish) {
+  Worker* w = this_worker();
+  assert(w != nullptr && w->current != nullptr);
+  assert(!w->post_switch && "nested park publish");
+  w->post_switch = std::move(publish);
+  TaskFiber* self = w->current;
+  switch_context(self->fiber.context(), w->sched_ctx);
+  // Resumed — possibly on a different worker thread.
+  assert(this_worker() != nullptr && this_worker()->current == self &&
+         "fiber resumed with stale worker bookkeeping");
+}
+
+// ---------------------------------------------------------------------------
+// Task completion and the join protocol
+// ---------------------------------------------------------------------------
+
+void Runtime::finish_task(TaskFiber* tf) {
+  Worker* w = this_worker();
+  w->stats.tasks_run++;
+
+  // Thanks to the implicit sync, our own children are quiescent.
+  assert(tf->st.frame.joins.load(std::memory_order_relaxed) == 0);
+  assert(tf->st.frame.parked.load(std::memory_order_relaxed) == nullptr);
+
+  if (tf->st.future) {
+    tf->st.future->complete();
+    tf->st.future.reset();
+  }
+
+  Frame* pf = tf->st.parent;
+  TaskFiber* parent_cont = w->active->pop_bottom();
+  if (parent_cont != nullptr) {
+    // Serial fast path: our parent's continuation is still at the bottom —
+    // nobody stole it, so the parent cannot be parked at a sync; just
+    // credit the join and resume it in place.
+    if (pf != nullptr) {
+      pf->joins.fetch_sub(Frame::kChildUnit, std::memory_order_seq_cst);
+    }
+    assert(!w->next.valid());
+    w->next = Continuation::of_fiber(parent_cont);
+  } else if (pf != nullptr) {
+    // Continuation was stolen (or we are a tossed/cross-level child): full
+    // join protocol (see Frame). We may touch pf->parked ONLY in the
+    // old==3 case — then the parent is parked and we are its sole waker,
+    // so the frame cannot be recycled under us.
+    const std::uint64_t old =
+        pf->joins.fetch_sub(Frame::kChildUnit, std::memory_order_seq_cst);
+    assert(old >= Frame::kChildUnit);
+    if (old == (Frame::kChildUnit | Frame::kParkedBit)) {
+      Deque* parked = pf->parked.exchange(nullptr, std::memory_order_seq_cst);
+      assert(parked != nullptr && "parked bit set but no deque published");
+      auto d = Ref<Deque>::adopt(parked);
+      d->make_resumable();
+      dispatch_woken(*w, std::move(d));
+    }
+  }
+
+  // Switch away for good; the fiber is recycled on the scheduler context.
+  Worker* w2 = this_worker();
+  w2->post_switch = [this, tf] { recycle(tf); };
+  switch_context(tf->fiber.context(), w2->sched_ctx);
+  // not reached
+}
+
+void Runtime::dispatch_woken(Worker& w, Ref<Deque> d) {
+  // Provably-good-steal style: if the woken deque is at our level and we
+  // have nothing queued, mug it ourselves instead of going through the
+  // pool — our active deque is exhausted anyway.
+  if (!w.next.valid() && d->priority() == w.level) {
+    Continuation c;
+    if (d->try_mug(c)) {
+      if (w.active) retire_active(w);
+      w.active = std::move(d);
+      w.next = std::move(c);
+      return;
+    }
+  }
+  resumable(std::move(d));
+}
+
+void Runtime::resumable(Ref<Deque> d) {
+  assert(d && d->state() == Deque::State::Resumable);
+  sched_->on_resumable(std::move(d));
+}
+
+// ---------------------------------------------------------------------------
+// spawn / sync / fut_create / toss
+// ---------------------------------------------------------------------------
+
+void Runtime::spawn_impl(Closure body) {
+  Worker* w = this_worker();
+  assert(w != nullptr && w->current != nullptr &&
+         "spawn must be called from task code; use submit() elsewhere");
+  spawn_linked(w->current->st.priority, std::move(body));
+}
+
+void Runtime::spawn_at_impl(Priority p, Closure body) {
+  assert(p >= 0 && p <= kMaxPriority);
+  Worker* w = this_worker();
+  if (w == nullptr || w->current == nullptr) {
+    // External thread: detached fire-and-forget task.
+    toss_task(p, std::move(body), nullptr, nullptr);
+    return;
+  }
+  spawn_linked(p, std::move(body));
+}
+
+void Runtime::spawn_linked(Priority p, Closure body) {
+  Worker* w = this_worker();
+  sched_->pre_op_check(*w);
+  w = this_worker();  // may have migrated
+  TaskFiber* self = w->current;
+  w->stats.spawns++;
+  self->st.frame.joins.fetch_add(Frame::kChildUnit,
+                                 std::memory_order_seq_cst);
+
+  if (p != self->st.priority) {
+    // Cross-priority spawn: "a deque is generated to store the subroutine
+    // and tossed to the appropriate priority level" (footnote 3). The
+    // parent keeps running; sync() still joins the child.
+    toss_task(p, std::move(body), nullptr, &self->st.frame);
+    return;
+  }
+
+  park_current([this, self, body = std::move(body), p]() mutable {
+    Worker& w2 = *this_worker();
+    w2.active->push_bottom(self);
+    sched_->on_push(w2);
+    assert(!w2.next.valid());
+    w2.next =
+        Continuation::of_closure(std::move(body), &self->st.frame, nullptr, p);
+  });
+  // Resumed: serially after the child finished, by a thief who stole our
+  // continuation, or by a mug if the deque suspended below us.
+}
+
+void Runtime::fut_spawn(Priority p, Closure body, Ref<FutureStateBase> fut) {
+  Worker* w = this_worker();
+  if (w == nullptr || w->current == nullptr) {
+    toss_task(p < 0 ? kDefaultPriority : p, std::move(body), std::move(fut),
+              nullptr);
+    return;
+  }
+  sched_->pre_op_check(*w);
+  w = this_worker();
+  TaskFiber* self = w->current;
+  w->stats.spawns++;
+  const Priority cur = self->st.priority;
+  const Priority target = (p < 0) ? cur : p;
+  assert(target >= 0 && target <= kMaxPriority);
+
+  if (target != cur) {
+    // Future routines are not joined by sync (they are joined by get), so
+    // no parent frame is linked.
+    toss_task(target, std::move(body), std::move(fut), nullptr);
+    return;
+  }
+
+  fut->set_routine_priority(target);
+  park_current(
+      [this, self, body = std::move(body), fut = std::move(fut),
+       target]() mutable {
+        Worker& w2 = *this_worker();
+        w2.active->push_bottom(self);
+        sched_->on_push(w2);
+        assert(!w2.next.valid());
+        w2.next = Continuation::of_closure(std::move(body), nullptr,
+                                           std::move(fut), target);
+      });
+}
+
+void Runtime::toss_task(Priority p, Closure body, Ref<FutureStateBase> fut,
+                        Frame* parent) {
+  assert(p >= 0 && p <= kMaxPriority);
+  if (fut) fut->set_routine_priority(p);
+  auto c =
+      Continuation::of_closure(std::move(body), parent, std::move(fut), p);
+  auto d = Deque::new_resumable(std::move(c), census_slot(p));
+  resumable(std::move(d));
+}
+
+void Runtime::sync_impl() {
+  Worker* w = this_worker();
+  assert(w != nullptr && w->current != nullptr);
+  sched_->pre_op_check(*w);
+  w = this_worker();
+  TaskFiber* self = w->current;
+  Frame& fr = self->st.frame;
+
+  if (fr.outstanding() == 0) return;  // fast path
+  w->stats.syncs_failed++;
+
+  park_current([this, self] {
+    Worker& w2 = *this_worker();
+    Frame& fr2 = self->st.frame;
+    Ref<Deque> d = w2.active;
+    d->suspend(self);
+    sched_->on_suspend(w2, *d);
+    w2.active.reset();
+
+    // Publish the parked deque, THEN set the parked bit. A child observing
+    // the bit (old == 3 at its decrement) is guaranteed to see the
+    // pointer. If the counter hit zero before our fetch_or, every child
+    // is gone and none will ever touch this frame again — we self-wake.
+    Deque* raw = d.release();
+    fr2.parked.store(raw, std::memory_order_seq_cst);
+    const std::uint64_t old =
+        fr2.joins.fetch_or(Frame::kParkedBit, std::memory_order_seq_cst);
+    if ((old >> 1) == 0) {
+      Deque* back = fr2.parked.exchange(nullptr, std::memory_order_seq_cst);
+      assert(back != nullptr && "self-wake raced an impossible child");
+      auto rd = Ref<Deque>::adopt(back);
+      rd->make_resumable();
+      dispatch_woken(w2, std::move(rd));
+    }
+  });
+
+  // Resumed (by the last child or by the self-wake): clear the parked bit
+  // for the frame's next sync round.
+  fr.joins.fetch_and(~Frame::kParkedBit, std::memory_order_seq_cst);
+  assert(fr.outstanding() == 0);
+}
+
+Priority Runtime::current_priority() const {
+  Worker* w = this_worker();
+  assert(w != nullptr && w->current != nullptr);
+  return w->current->st.priority;
+}
+
+// ---------------------------------------------------------------------------
+// Futures: waiting and completion
+// ---------------------------------------------------------------------------
+
+void future_wait(FutureStateBase& st) {
+  Worker* w = this_worker();
+  if (w == nullptr || w->current == nullptr) {
+    st.wait_external();
+    return;
+  }
+  Runtime& rt = st.runtime();
+  assert(&rt == w->rt && "future belongs to a different runtime");
+  if (rt.config().detect_priority_inversions) {
+    const int producer = st.routine_priority();
+    const Priority waiter = w->current->st.priority;
+    if (producer >= 0 && waiter > producer && !st.ready()) {
+      rt.note_priority_inversion(waiter, producer);
+    }
+  }
+  rt.scheduler().pre_op_check(*w);
+  w = this_worker();
+  if (st.ready()) return;
+
+  w->stats.gets_suspended++;
+  rt.park_current([&rt, &st, self = w->current] {
+    Worker& w2 = *this_worker();
+    Ref<Deque> d = w2.active;
+    d->suspend(self);
+    rt.scheduler().on_suspend(w2, *d);
+    w2.active.reset();
+    if (!st.add_waiter(d)) {
+      // Completed in the meantime; resume the deque ourselves.
+      d->make_resumable();
+      rt.dispatch_woken(w2, std::move(d));
+    }
+  });
+  assert(st.ready());
+}
+
+FutureStateBase::~FutureStateBase() {
+  for (Deque* d : waiters_) Ref<Deque>::adopt(d);  // drop leftover refs
+}
+
+bool FutureStateBase::add_waiter(Ref<Deque> d) {
+  assert(rt_ != nullptr && "runtime-less future cannot suspend deques");
+  LockGuard<SpinLock> g(mu_);
+  if (ready_.load(std::memory_order_relaxed)) return false;
+  waiters_.push_back(d.release());
+  return true;
+}
+
+namespace {
+// Process-wide wait channel for runtime-less futures (see future.hpp).
+std::mutex g_orphan_wait_mu;
+std::condition_variable g_orphan_wait_cv;
+}  // namespace
+
+void FutureStateBase::complete() {
+  std::vector<Deque*> waiters;
+  {
+    LockGuard<SpinLock> g(mu_);
+    assert(!ready_.load(std::memory_order_relaxed) && "double completion");
+    ready_.store(true, std::memory_order_seq_cst);
+    waiters.swap(waiters_);
+  }
+  for (Deque* raw : waiters) {
+    auto d = Ref<Deque>::adopt(raw);
+    d->make_resumable();
+    rt_->resumable(std::move(d));
+  }
+  if (has_external_waiter_.load(std::memory_order_acquire)) {
+    if (rt_ != nullptr) {
+      rt_->notify_external();
+    } else {
+      std::lock_guard<std::mutex> lk(g_orphan_wait_mu);
+      g_orphan_wait_cv.notify_all();
+    }
+  }
+}
+
+void FutureStateBase::wait_external() {
+  if (rt_ != nullptr) {
+    rt_->wait_external_on(*this);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(g_orphan_wait_mu);
+  has_external_waiter_.store(true, std::memory_order_seq_cst);
+  g_orphan_wait_cv.wait(lk, [&] { return ready(); });
+}
+
+void Runtime::wait_external_on(FutureStateBase& st) {
+  std::unique_lock<std::mutex> lk(ext_mu_);
+  st.has_external_waiter_.store(true, std::memory_order_seq_cst);
+  ext_cv_.wait(lk, [&] { return st.ready(); });
+}
+
+void Runtime::note_priority_inversion(Priority waiter, Priority producer) {
+  // Log the first occurrence loudly (the type systems in the paper's
+  // prior work would have rejected this program); count the rest.
+  if (inversions_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    std::fprintf(stderr,
+                 "icilk: PRIORITY INVERSION detected: task at priority %d "
+                 "blocked on a future routine at priority %d — bounded "
+                 "response times cannot be guaranteed (see Section 2 of "
+                 "the paper). Further inversions counted silently.\n",
+                 waiter, producer);
+  }
+}
+
+void Runtime::notify_external() {
+  // Lock/unlock pairs with wait_external_on to close the missed-wakeup
+  // window between the waiter's predicate check and its wait.
+  std::lock_guard<std::mutex> lk(ext_mu_);
+  ext_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Fiber pooling
+// ---------------------------------------------------------------------------
+
+TaskFiber* Runtime::alloc_task_fiber() {
+  {
+    LockGuard<SpinLock> g(fiber_pool_mu_);
+    if (!fiber_pool_.empty()) {
+      TaskFiber* tf = fiber_pool_.back();
+      fiber_pool_.pop_back();
+      return tf;
+    }
+  }
+  return new TaskFiber(stacks_.get());
+}
+
+void Runtime::recycle(TaskFiber* tf) {
+  tf->st.reset();
+  LockGuard<SpinLock> g(fiber_pool_mu_);
+  fiber_pool_.push_back(tf);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+StatsSnapshot Runtime::stats_snapshot() const {
+  StatsSnapshot s;
+  for (const auto& w : workers_) s += w->stats;
+  return s;
+}
+
+void Runtime::reset_time_stats() {
+  for (auto& w : workers_) w->stats.reset_times();
+}
+
+}  // namespace icilk

@@ -1,0 +1,186 @@
+// The I-Cilk runtime: workers, task lifecycle, and the public task API.
+//
+// Construction wires a Scheduler policy to a worker pool; the same runtime
+// core runs Prompt I-Cilk and all Adaptive variants. Typical use:
+//
+//   icilk::Runtime rt(cfg, std::make_unique<icilk::PromptScheduler>());
+//   auto f = rt.submit(/*priority=*/3, [] {
+//     icilk::spawn([] { ... });         // fork
+//     auto g = icilk::fut_create(...);  // future
+//     icilk::sync();                    // join spawns
+//     g.get();                          // join future
+//   });
+//   f.get();                            // external join
+//
+// Threading/lifetime rules:
+//   * spawn / sync / fut_create / get may be called from task code only;
+//     submit() and Future::get() work from any thread.
+//   * The runtime must be quiesced (all submitted work finished) before
+//     destruction; shutting down with live tasks is a programming error.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "concurrent/bitfield.hpp"
+#include "concurrent/cacheline.hpp"
+#include "core/future.hpp"
+#include "core/scheduler.hpp"
+#include "core/stats.hpp"
+#include "core/task.hpp"
+#include "core/types.hpp"
+#include "core/worker.hpp"
+#include "fiber/stack.hpp"
+
+namespace icilk {
+
+class Runtime {
+ public:
+  Runtime(const RuntimeConfig& cfg, std::unique_ptr<Scheduler> sched);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  const RuntimeConfig& config() const noexcept { return cfg_; }
+  Scheduler& scheduler() noexcept { return *sched_; }
+  int num_workers() const noexcept { return cfg_.num_workers; }
+
+  /// Requests shutdown and joins all workers. Idempotent. All submitted
+  /// work must have completed.
+  void shutdown();
+
+  // ---- external submission (any thread) ----
+
+  /// Runs `fn` as a detached task at priority `p`; join via the future.
+  template <typename F>
+  auto submit(Priority p, F&& fn) {
+    using T = std::invoke_result_t<F>;
+    auto st = Ref<FutureState<T>>::make(*this);
+    Closure body = wrap_value<T>(st, std::forward<F>(fn));
+    toss_task(p, std::move(body), Ref<FutureStateBase>(st), nullptr);
+    return Future<T>(std::move(st));
+  }
+
+  // ---- in-task API (documented in api.hpp; these are the engines) ----
+
+  /// spawn at the current priority: parks the caller as the stealable
+  /// parent continuation and runs `body` next (work-first order).
+  void spawn_impl(Closure body);
+
+  /// spawn at priority `p`; same-priority behaves like spawn_impl, other
+  /// priorities toss a fresh resumable deque to level `p` (footnote 3).
+  /// In both cases the child is joined by the caller's sync().
+  void spawn_at_impl(Priority p, Closure body);
+
+  /// Waits for all children spawned by the current task.
+  void sync_impl();
+
+  /// Starts a future routine at priority `p` (current priority if p < 0).
+  template <typename F>
+  auto fut_create_impl(Priority p, F&& fn) {
+    using T = std::invoke_result_t<F>;
+    auto st = Ref<FutureState<T>>::make(*this);
+    Closure body = wrap_value<T>(st, std::forward<F>(fn));
+    fut_spawn(p, std::move(body), Ref<FutureStateBase>(st));
+    return Future<T>(std::move(st));
+  }
+
+  /// Current task's priority (callable from task code only).
+  Priority current_priority() const;
+
+  // ---- scheduler/reactor-facing internals ----
+
+  /// Parks the calling fiber; `publish` runs on the worker's scheduler
+  /// context immediately after the switch and is the ONLY place allowed to
+  /// make the parked fiber visible to other threads.
+  void park_current(std::function<void()> publish);
+
+  /// Routes a freshly-Resumable deque to the scheduler (any thread).
+  void resumable(Ref<Deque> d);
+
+  /// Per-level gauge of non-empty deques (Figure 2 census).
+  std::int64_t census(Priority p) const {
+    return census_[p].value.load(std::memory_order_relaxed);
+  }
+  std::atomic<std::int64_t>* census_slot(Priority p) {
+    return &census_[p].value;
+  }
+
+  /// Sums worker stats. Safe anytime; precise at quiescence.
+  StatsSnapshot stats_snapshot() const;
+  /// Zeroes all worker time accumulators (not counters) — used by benches
+  /// to scope waste/run measurements to the measurement window.
+  void reset_time_stats();
+  WorkerStats& worker_stats(int i) { return workers_[i]->stats; }
+
+  bool shutting_down() const noexcept {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Count of dynamically detected priority inversions (a get() whose
+  /// caller outranks the future's routine); always 0 unless
+  /// cfg.detect_priority_inversions is set.
+  std::uint64_t priority_inversions() const noexcept {
+    return inversions_.load(std::memory_order_relaxed);
+  }
+  void note_priority_inversion(Priority waiter, Priority producer);
+
+  // external-waiter support (see FutureStateBase)
+  void wait_external_on(FutureStateBase& st);
+  void notify_external();
+
+  Worker& worker_for_test(int i) { return *workers_[i]; }
+
+ private:
+  friend class FutureStateBase;
+  friend void future_wait(FutureStateBase& st);
+
+  void worker_main(Worker& w);
+  void run_next(Worker& w);
+  void finish_task(TaskFiber* tf);
+  void retire_active(Worker& w);
+  void dispatch_woken(Worker& w, Ref<Deque> d);
+
+  /// Starts `body` as a tossed resumable deque at level p.
+  void toss_task(Priority p, Closure body, Ref<FutureStateBase> fut,
+                 Frame* parent);
+  /// spawn/fut_create engine for task-context callers.
+  void fut_spawn(Priority p, Closure body, Ref<FutureStateBase> fut);
+  void spawn_linked(Priority p, Closure body);
+
+  TaskFiber* alloc_task_fiber();
+  void recycle(TaskFiber* tf);
+
+  template <typename T, typename F>
+  static Closure wrap_value(Ref<FutureState<T>> st, F&& fn) {
+    if constexpr (std::is_void_v<T>) {
+      return Closure(std::forward<F>(fn));
+    } else {
+      return [st, f = std::forward<F>(fn)]() mutable { st->set_value(f()); };
+    }
+  }
+
+  RuntimeConfig cfg_;
+  std::unique_ptr<Scheduler> sched_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutdown_{false};
+
+  StackPool stacks_;
+  SpinLock fiber_pool_mu_;
+  std::vector<TaskFiber*> fiber_pool_;
+
+  // external waiters (rare path, shared condvar)
+  std::mutex ext_mu_;
+  std::condition_variable ext_cv_;
+  std::atomic<std::uint64_t> inversions_{0};
+
+  CacheAligned<std::atomic<std::int64_t>> census_[PriorityBitfield::kMaxLevels];
+};
+
+}  // namespace icilk

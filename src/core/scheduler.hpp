@@ -1,0 +1,62 @@
+// The scheduler policy interface.
+//
+// The runtime core (fibers, deques, joins, futures, workers) is shared by
+// all four schedulers the paper evaluates — Prompt I-Cilk, Adaptive I-Cilk,
+// Adaptive I-Cilk plus aging, and Adaptive Greedy — so that measured
+// differences isolate the scheduling *policy*, mirroring the paper's
+// methodology (both platforms "are identical in terms of linguistic support
+// and differ only in terms of scheduler design", Section 2).
+//
+// Hook call sites (all invoked by the runtime core):
+//   acquire          worker has nothing to run; find (or wait for) work.
+//   on_push          the worker's active deque just gained a stealable
+//                    entry (spawn/fut_create pushed the parent); ensure the
+//                    deque is discoverable (pool membership / bitfield).
+//   on_resumable     a deque became Resumable: future/I/O completion,
+//                    cross-priority toss, external submit, sync wake that
+//                    could not run in place. May run on ANY thread
+//                    (reactor threads included).
+//   on_suspend       the worker's active deque suspended (failed get/sync).
+//   on_deque_dead    the worker's active deque died (chain exhausted).
+//   pre_op_check     promptness hook, called at every spawn, sync,
+//                    fut_create, and get; Prompt I-Cilk may abandon the
+//                    active deque and migrate the worker here.
+#pragma once
+
+#include "concurrent/ref.hpp"
+#include "core/deque.hpp"
+#include "core/types.hpp"
+
+namespace icilk {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Bound exactly once, before workers start.
+  virtual void attach(Runtime& rt) { rt_ = &rt; }
+  /// Runtime started its worker threads (timers etc. may start here).
+  virtual void start() {}
+  /// Shutdown requested: wake every sleeping worker; acquire must return
+  /// false promptly on all workers.
+  virtual void stop() {}
+
+  /// Finds work for `w`: on success sets w.active (an Active deque at
+  /// w.level) and w.next (the continuation to run) and returns true.
+  /// Returns false only on shutdown. Expected to do its own waste/sched
+  /// time accounting into w.stats.
+  virtual bool acquire(Worker& w) = 0;
+
+  virtual void on_push(Worker& w) = 0;
+  virtual void on_resumable(Ref<Deque> d) = 0;
+  virtual void on_suspend(Worker& w, Deque& d) {}
+  virtual void on_deque_dead(Worker& w, Deque& d) {}
+  virtual void pre_op_check(Worker& w) {}
+
+ protected:
+  Runtime* rt_ = nullptr;
+};
+
+}  // namespace icilk

@@ -1,0 +1,70 @@
+// Per-worker scheduler statistics.
+//
+// The paper's §5 "Waste and Scheduling Overhead" splits every worker's time:
+//   waste — looking for and failing to find work; for Prompt I-Cilk also
+//           going to sleep / waking up on the bitfield condition variable;
+//   run   — useful work plus scheduling overhead (successful steals, mugs,
+//           bitfield checks, deque/pool maintenance while active).
+// Counters are single-writer (their worker); aggregate reads happen at
+// quiescence or tolerate slight skew (used for utilization estimates by the
+// adaptive top-level allocator).
+#pragma once
+
+#include <cstdint>
+
+#include "concurrent/cacheline.hpp"
+#include "concurrent/clock.hpp"
+
+namespace icilk {
+
+struct alignas(kCacheLineSize) WorkerStats {
+  // Tick accumulators (see clock.hpp).
+  TickAccumulator work_ticks;    // running task bodies
+  TickAccumulator sched_ticks;   // successful acquire paths, queue upkeep
+  TickAccumulator waste_ticks;   // failed probes, sleeping, waking
+
+  // Event counters.
+  std::uint64_t spawns = 0;
+  std::uint64_t syncs_failed = 0;
+  std::uint64_t gets_suspended = 0;
+  std::uint64_t steals = 0;          // continuation steals
+  std::uint64_t mugs = 0;            // whole-deque takeovers
+  std::uint64_t failed_probes = 0;   // pool/victim probes that found nothing
+  std::uint64_t abandons = 0;        // promptness abandonments
+  std::uint64_t sleeps = 0;          // bitfield-zero condvar waits
+  std::uint64_t deques_created = 0;
+  std::uint64_t tasks_run = 0;
+
+  void reset_times() {
+    work_ticks.reset();
+    sched_ticks.reset();
+    waste_ticks.reset();
+  }
+};
+
+/// Aggregate snapshot used by benches and the adaptive allocator.
+struct StatsSnapshot {
+  double work_s = 0, sched_s = 0, waste_s = 0;
+  std::uint64_t spawns = 0, steals = 0, mugs = 0, failed_probes = 0,
+                abandons = 0, sleeps = 0, tasks_run = 0, deques_created = 0,
+                syncs_failed = 0, gets_suspended = 0;
+
+  StatsSnapshot& operator+=(const WorkerStats& w) {
+    work_s += ticks_to_seconds(w.work_ticks.total());
+    sched_s += ticks_to_seconds(w.sched_ticks.total());
+    waste_s += ticks_to_seconds(w.waste_ticks.total());
+    spawns += w.spawns;
+    steals += w.steals;
+    mugs += w.mugs;
+    failed_probes += w.failed_probes;
+    abandons += w.abandons;
+    sleeps += w.sleeps;
+    tasks_run += w.tasks_run;
+    deques_created += w.deques_created;
+    syncs_failed += w.syncs_failed;
+    gets_suspended += w.gets_suspended;
+    return *this;
+  }
+};
+
+}  // namespace icilk

@@ -1,0 +1,183 @@
+#include "core/sync_primitives.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "core/worker.hpp"
+
+namespace icilk {
+
+namespace {
+
+/// A one-shot wakeup gate built on the future machinery: waiting suspends
+/// the caller's deque (task) or blocks on a condvar (plain thread);
+/// completing makes it runnable again via the scheduler.
+Ref<FutureState<void>> make_gate() {
+  if (Worker* w = this_worker(); w != nullptr && w->current != nullptr) {
+    return Ref<FutureState<void>>::make(*w->rt);
+  }
+  return Ref<FutureState<void>>::make();  // external thread: global channel
+}
+
+void open_gate(Ref<FutureState<void>>& g) { g->complete(); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TaskMutex: FIFO handoff.
+// ---------------------------------------------------------------------------
+
+void TaskMutex::lock() {
+  Ref<FutureState<void>> gate;
+  {
+    LockGuard<SpinLock> g(mu_);
+    if (!held_) {
+      held_ = true;
+      return;
+    }
+    gate = make_gate();
+    waiters_.push_back(gate);
+  }
+  // Ownership is handed to us by unlock() before the gate opens — no
+  // re-check loop needed, and no barging can starve us.
+  future_wait(*gate);
+}
+
+bool TaskMutex::try_lock() {
+  LockGuard<SpinLock> g(mu_);
+  if (held_) return false;
+  held_ = true;
+  return true;
+}
+
+void TaskMutex::unlock() {
+  Ref<FutureState<void>> next;
+  {
+    LockGuard<SpinLock> g(mu_);
+    assert(held_ && "unlock of unheld TaskMutex");
+    if (waiters_.empty()) {
+      held_ = false;
+      return;
+    }
+    next = std::move(waiters_.front());
+    waiters_.pop_front();
+    // held_ stays true: ownership transfers to `next`.
+  }
+  open_gate(next);
+}
+
+bool TaskMutex::held_for_test() {
+  LockGuard<SpinLock> g(mu_);
+  return held_;
+}
+
+// ---------------------------------------------------------------------------
+// TaskCondVar.
+// ---------------------------------------------------------------------------
+
+void TaskCondVar::wait(TaskMutex& m) {
+  Ref<FutureState<void>> gate = make_gate();
+  {
+    LockGuard<SpinLock> g(mu_);
+    waiters_.push_back(gate);
+  }
+  // Release-and-wait need not be atomic against notifiers BECAUSE the
+  // gate is registered before the mutex is released: a notify that races
+  // our release will find (and open) our gate.
+  m.unlock();
+  future_wait(*gate);
+  m.lock();
+}
+
+void TaskCondVar::notify_one() {
+  Ref<FutureState<void>> gate;
+  {
+    LockGuard<SpinLock> g(mu_);
+    if (waiters_.empty()) return;
+    gate = std::move(waiters_.front());
+    waiters_.pop_front();
+  }
+  open_gate(gate);
+}
+
+void TaskCondVar::notify_all() {
+  std::deque<Ref<FutureState<void>>> all;
+  {
+    LockGuard<SpinLock> g(mu_);
+    all.swap(waiters_);
+  }
+  for (auto& gate : all) open_gate(gate);
+}
+
+// ---------------------------------------------------------------------------
+// TaskSemaphore.
+// ---------------------------------------------------------------------------
+
+void TaskSemaphore::acquire() {
+  Ref<FutureState<void>> gate;
+  {
+    LockGuard<SpinLock> g(mu_);
+    if (count_ > 0) {
+      --count_;
+      return;
+    }
+    gate = make_gate();
+    waiters_.push_back(gate);
+  }
+  // Like the mutex: release() transfers a unit directly to the waiter.
+  future_wait(*gate);
+}
+
+bool TaskSemaphore::try_acquire() {
+  LockGuard<SpinLock> g(mu_);
+  if (count_ <= 0) return false;
+  --count_;
+  return true;
+}
+
+void TaskSemaphore::release(std::int64_t n) {
+  std::vector<Ref<FutureState<void>>> woken;
+  {
+    LockGuard<SpinLock> g(mu_);
+    while (n > 0 && !waiters_.empty()) {
+      woken.push_back(std::move(waiters_.front()));
+      waiters_.pop_front();
+      --n;  // unit handed straight to the waiter
+    }
+    count_ += n;
+  }
+  for (auto& gate : woken) open_gate(gate);
+}
+
+std::int64_t TaskSemaphore::available_for_test() {
+  LockGuard<SpinLock> g(mu_);
+  return count_;
+}
+
+// ---------------------------------------------------------------------------
+// TaskBarrier.
+// ---------------------------------------------------------------------------
+
+bool TaskBarrier::arrive_and_wait() {
+  Ref<FutureState<void>> gate;
+  std::deque<Ref<FutureState<void>>> to_open;
+  {
+    LockGuard<SpinLock> g(mu_);
+    assert(remaining_ > 0 && "barrier reused");
+    if (--remaining_ == 0) {
+      to_open.swap(waiters_);
+    } else {
+      gate = make_gate();
+      waiters_.push_back(gate);
+    }
+  }
+  if (!gate) {  // last arriver: release everyone, outside the lock
+    for (auto& w : to_open) open_gate(w);
+    return true;
+  }
+  future_wait(*gate);
+  return false;
+}
+
+}  // namespace icilk

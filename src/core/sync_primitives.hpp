@@ -1,0 +1,116 @@
+// Task-aware synchronization primitives.
+//
+// The paper's future-work list (Section 7) calls out that "real-world
+// interactive applications are complex and use many features, e.g. locks
+// and condition variables, which must be handled better if
+// task-parallelism is to become the new way these applications are
+// written." A plain std::mutex inside a task blocks the WORKER THREAD —
+// with few workers multiplexing many tasks, that wastes a core and can
+// deadlock the runtime outright (every worker parked in the kernel while
+// the lock holder waits for a worker). These primitives block only the
+// TASK: a contended acquire suspends the calling deque through exactly the
+// same machinery as a failed future get, and the release hands the deque
+// back to the scheduler as resumable.
+//
+// All primitives also work from non-worker threads (they fall back to the
+// futures' external condvar wait), so a driver thread can share a TaskMutex
+// with task code.
+//
+//   TaskMutex     FIFO handoff lock (no barging: unlock passes ownership
+//                 to the longest waiter — aging-friendly, starvation-free).
+//   TaskCondVar   condition variable over TaskMutex.
+//   TaskSemaphore counting semaphore with FIFO wakeups.
+//   TaskBarrier   single-use N-party barrier.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "concurrent/spinlock.hpp"
+#include "core/future.hpp"
+#include "core/types.hpp"
+
+namespace icilk {
+
+class TaskMutex {
+ public:
+  TaskMutex() = default;
+  TaskMutex(const TaskMutex&) = delete;
+  TaskMutex& operator=(const TaskMutex&) = delete;
+
+  /// Acquires the lock; suspends the calling task while contended.
+  void lock();
+  /// Acquires without suspending; false if held.
+  bool try_lock();
+  /// Releases; if tasks are waiting, ownership transfers FIFO.
+  void unlock();
+
+  bool held_for_test();
+
+ private:
+  friend class TaskCondVar;
+
+  SpinLock mu_;                                // protects held_ + waiters_
+  bool held_ = false;
+  std::deque<Ref<FutureState<void>>> waiters_; // FIFO gates
+};
+
+class TaskCondVar {
+ public:
+  TaskCondVar() = default;
+  TaskCondVar(const TaskCondVar&) = delete;
+  TaskCondVar& operator=(const TaskCondVar&) = delete;
+
+  /// Atomically releases `m` and suspends until notified; reacquires `m`
+  /// before returning. As with std::condition_variable, spurious wakeups
+  /// are possible in principle — use the predicate overload.
+  void wait(TaskMutex& m);
+
+  template <typename Pred>
+  void wait(TaskMutex& m, Pred pred) {
+    while (!pred()) wait(m);
+  }
+
+  void notify_one();
+  void notify_all();
+
+ private:
+  SpinLock mu_;
+  std::deque<Ref<FutureState<void>>> waiters_;
+};
+
+class TaskSemaphore {
+ public:
+  explicit TaskSemaphore(std::int64_t initial) : count_(initial) {}
+  TaskSemaphore(const TaskSemaphore&) = delete;
+  TaskSemaphore& operator=(const TaskSemaphore&) = delete;
+
+  void acquire();
+  bool try_acquire();
+  void release(std::int64_t n = 1);
+
+  std::int64_t available_for_test();
+
+ private:
+  SpinLock mu_;
+  std::int64_t count_;
+  std::deque<Ref<FutureState<void>>> waiters_;
+};
+
+/// Single-use barrier: the Nth arriver releases everyone.
+class TaskBarrier {
+ public:
+  explicit TaskBarrier(int parties) : remaining_(parties) {}
+  TaskBarrier(const TaskBarrier&) = delete;
+  TaskBarrier& operator=(const TaskBarrier&) = delete;
+
+  /// Returns true for exactly one participant (the last to arrive).
+  bool arrive_and_wait();
+
+ private:
+  SpinLock mu_;
+  int remaining_;
+  std::deque<Ref<FutureState<void>>> waiters_;
+};
+
+}  // namespace icilk

@@ -1,0 +1,135 @@
+// Tasks, frames (join counters), and continuations.
+//
+// Execution model (library-level continuation stealing, Section 2 of the
+// paper / proactive work stealing [42]):
+//
+//   * Each task invocation runs on its own fiber; its bookkeeping is the
+//     TaskState carried by the TaskFiber.
+//   * `spawn(f)`: the spawning fiber parks and is pushed onto the BOTTOM of
+//     the worker's active deque as the parent continuation; the worker
+//     switches to a fresh fiber running `f`. This makes the *continuation*
+//     the stealable object, exactly as in Cilk: thieves take the TOP
+//     (oldest ancestor continuation).
+//   * On child return, the worker pops the bottom; if the parent
+//     continuation is still there it resumes it directly (the serial fast
+//     path). Otherwise the continuation was stolen and the full join
+//     protocol runs.
+//   * `sync` parks the fiber in its frame's `parked` slot when children are
+//     outstanding; the last child to finish wakes it.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+
+#include "concurrent/ref.hpp"
+#include "core/future.hpp"
+#include "core/types.hpp"
+#include "fiber/fiber.hpp"
+
+namespace icilk {
+
+/// Join bookkeeping for one task invocation: counts outstanding spawned
+/// children and holds the deque suspended at a failed sync (if any; the
+/// syncing fiber is that deque's bottom frame — a failed sync suspends the
+/// whole deque just like a failed get, because ancestor continuations above
+/// it must stay stealable).
+///
+/// `joins` packs (outstanding_children << 1) | parked_bit into ONE atomic
+/// word so the "last child retires while the parent is parked" decision is
+/// atomic. This matters for LIFETIME, not just missed wakeups: the frame
+/// lives inside the parent's pooled TaskFiber, so a child may only touch
+/// `parked` when it is certain the parent cannot resume (and recycle the
+/// frame) without that child's wake. Protocol (all seq_cst):
+///
+///   spawn:        joins += 2
+///   child retire: old = (joins -= 2) + 2
+///                 old == 3 (last child, parent parked) -> sole waker:
+///                          take `parked`, make it resumable
+///                 old == 2 (last child, parent not yet parked) -> nothing;
+///                          the parent's own park will self-wake
+///   parent sync:  parked = deque; old = joins |= parked_bit
+///                 old >> 1 == 0 -> children already gone and none can
+///                          touch the frame anymore: self-wake (take
+///                          `parked` back), clear the bit on resume
+///
+/// Exactly one side obtains the parked deque, and whoever does is the only
+/// remaining toucher of the frame. The Deque* carries an owning reference
+/// (released into / adopted out of the atomic).
+struct Frame {
+  static constexpr std::uint64_t kParkedBit = 1;
+  static constexpr std::uint64_t kChildUnit = 2;
+
+  std::atomic<std::uint64_t> joins{0};
+  std::atomic<Deque*> parked{nullptr};
+
+  std::uint64_t outstanding() const noexcept {
+    return joins.load(std::memory_order_seq_cst) >> 1;
+  }
+
+  void reset() {
+    joins.store(0, std::memory_order_relaxed);
+    parked.store(nullptr, std::memory_order_relaxed);
+  }
+};
+
+/// Per-task-invocation state, carried by the fiber across workers.
+struct TaskState {
+  Runtime* rt = nullptr;
+  Frame* parent = nullptr;             ///< frame credited when we finish
+  Ref<FutureStateBase> future;         ///< completed when we finish (may be null)
+  Priority priority = kDefaultPriority;
+  Frame frame;                         ///< joins for OUR spawned children
+
+  void reset() {
+    rt = nullptr;
+    parent = nullptr;
+    future.reset();
+    priority = kDefaultPriority;
+    frame.reset();
+  }
+};
+
+/// A fiber plus its task state; the unit the runtime pools and schedules.
+struct TaskFiber {
+  explicit TaskFiber(Stack&& s) : fiber(std::move(s)) {}
+  Fiber fiber;
+  TaskState st;
+};
+
+/// Something a worker can run next: resume a parked fiber, or start a fresh
+/// closure (with join/future obligations).
+struct Continuation {
+  TaskFiber* resume = nullptr;  ///< parked fiber, or
+  Closure start;                ///< fresh closure (when resume == nullptr)
+  Frame* parent = nullptr;      ///< for fresh closures
+  Ref<FutureStateBase> future;  ///< for fresh future routines
+  Priority priority = kDefaultPriority;
+
+  bool valid() const noexcept { return resume != nullptr || bool(start); }
+  void clear() {
+    resume = nullptr;
+    start = nullptr;
+    parent = nullptr;
+    future.reset();
+  }
+
+  static Continuation of_fiber(TaskFiber* f);
+  static Continuation of_closure(Closure c, Frame* parent,
+                                 Ref<FutureStateBase> fut, Priority p) {
+    Continuation k;
+    k.start = std::move(c);
+    k.parent = parent;
+    k.future = std::move(fut);
+    k.priority = p;
+    return k;
+  }
+};
+
+inline Continuation Continuation::of_fiber(TaskFiber* f) {
+  Continuation k;
+  k.resume = f;
+  k.priority = f->st.priority;
+  return k;
+}
+
+}  // namespace icilk

@@ -1,0 +1,51 @@
+// Shared vocabulary types for the I-Cilk runtime core.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace icilk {
+
+/// Priority level of a task: 0..63, HIGHER value = MORE urgent. This
+/// matches the paper's bitfield encoding, where the highest set bit (found
+/// with count-leading-zeros) is the most urgent level with work.
+using Priority = int;
+
+inline constexpr Priority kMaxPriority = 63;
+inline constexpr Priority kDefaultPriority = 0;
+
+/// A unit of user work.
+using Closure = std::function<void()>;
+
+class Runtime;
+class Worker;
+class Deque;
+class Scheduler;
+struct TaskFiber;
+class FutureStateBase;
+
+/// Runtime-wide configuration.
+struct RuntimeConfig {
+  /// Number of compute worker threads.
+  int num_workers = 4;
+  /// Number of I/O handling threads driving the epoll reactor (the paper
+  /// runs Memcached with 4 worker + 4 I/O threads, following [40]).
+  int num_io_threads = 2;
+  /// Fiber stack size.
+  std::size_t stack_size = 256 * 1024;
+  /// Number of priority levels the application will use (bounds census
+  /// arrays; levels are still addressed 0..63).
+  int num_levels = 64;
+  /// RNG seed (worker streams derive from it deterministically).
+  std::uint64_t seed = 0x5eed;
+  /// Runtime priority-inversion detection: the prior work the paper builds
+  /// on ([29-32]) uses TYPE SYSTEMS to reject programs where a
+  /// higher-priority task can wait for a lower-priority one — the
+  /// condition under which no prompt scheduler can bound response times.
+  /// C++ has no such type system, so as a debugging aid the runtime can
+  /// flag inversions dynamically: a get() whose caller outranks the
+  /// future's routine counts (and logs, once) an inversion.
+  bool detect_priority_inversions = false;
+};
+
+}  // namespace icilk

@@ -1,0 +1,56 @@
+// Worker: one OS thread executing tasks for a runtime.
+//
+// A worker alternates between its scheduler context (the thread's native
+// stack, running the worker loop) and task fibers. All cross-context
+// hand-offs go through two slots:
+//   post_switch — the publish callback a parking fiber leaves behind; the
+//                 worker loop runs it immediately after the switch back, so
+//                 a fiber never becomes visible to thieves while running.
+//   next        — a continuation to run immediately, bypassing acquire
+//                 (serial spawn/return fast paths, sync self-wake).
+#pragma once
+
+#include <functional>
+
+#include "concurrent/ref.hpp"
+#include "concurrent/rng.hpp"
+#include "core/deque.hpp"
+#include "core/stats.hpp"
+#include "core/task.hpp"
+#include "core/types.hpp"
+#include "fiber/fiber.hpp"
+
+namespace icilk {
+
+class Worker {
+ public:
+  Worker(Runtime& rt_, int id_, std::uint64_t seed)
+      : rt(&rt_), id(id_), rng(seed, static_cast<std::uint64_t>(id_)) {}
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  Runtime* rt;
+  const int id;
+
+  /// Priority level the worker is currently working at. The invariant
+  /// `active->priority() == level` holds whenever `active` is set.
+  Priority level = kDefaultPriority;
+
+  Context sched_ctx;                   ///< native-thread context save slot
+  Ref<Deque> active;                   ///< current active deque (may be null)
+  TaskFiber* current = nullptr;        ///< fiber being executed
+  std::function<void()> post_switch;   ///< publish action; see file comment
+  Continuation next;                   ///< immediate-run slot
+  WorkerStats stats;
+  Xoshiro256 rng;
+
+  /// Scheduler-private per-worker state (owned by the scheduler).
+  void* sched_data = nullptr;
+};
+
+/// The worker bound to the calling thread, or nullptr on non-worker threads
+/// (reactor threads, drivers, tests).
+Worker* this_worker() noexcept;
+
+}  // namespace icilk

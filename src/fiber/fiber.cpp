@@ -1,0 +1,86 @@
+#include "fiber/fiber.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace icilk {
+
+namespace {
+
+// Mirror of the register image icilk_ctx_switch pops, built by hand for a
+// fresh fiber. Field order matches pop order in context.S (ascending
+// addresses = pop order).
+struct InitialFrame {
+  std::uint32_t mxcsr;
+  std::uint16_t x87cw;
+  std::uint16_t pad;
+  void* r15;
+  void* r14;
+  void* r13;
+  void* r12;
+  void* rbx;  // carries the Fiber* into the entry thunk
+  void* rbp;
+  void* ret;         // icilk_fiber_entry_thunk
+  void* terminator;  // 0: stops unwinders; never executed
+};
+// 8 bytes of FP control + 6 registers + return target + terminator.
+static_assert(sizeof(InitialFrame) == 9 * 8, "frame layout drifted");
+
+}  // namespace
+
+void Fiber::build_initial_frame() {
+  char* top = static_cast<char*>(stack_.top());
+  // Place the frame so that after the thunk's `ret`-less jmp, rsp % 16 == 8
+  // at the C entry (the ABI state normally produced by a call).
+  assert(reinterpret_cast<std::uintptr_t>(top) % 16 == 0);
+  auto* frame = reinterpret_cast<InitialFrame*>(top - sizeof(InitialFrame));
+
+  // Capture the creating thread's FP environment so fibers inherit sane
+  // rounding/denormal modes.
+  std::uint32_t mxcsr;
+  std::uint16_t x87cw;
+  __asm__ volatile("stmxcsr %0" : "=m"(mxcsr));
+  __asm__ volatile("fnstcw %0" : "=m"(x87cw));
+
+  frame->mxcsr = mxcsr;
+  frame->x87cw = x87cw;
+  frame->pad = 0;
+  frame->r15 = nullptr;
+  frame->r14 = nullptr;
+  frame->r13 = nullptr;
+  frame->r12 = nullptr;
+  frame->rbx = this;
+  frame->rbp = nullptr;
+  frame->ret = reinterpret_cast<void*>(&icilk_fiber_entry_thunk);
+  frame->terminator = nullptr;
+
+  ctx_.sp = frame;
+}
+
+void Fiber::prepare(Body body, std::function<void()> on_finish) {
+  assert(!armed_ && "fiber still running a body");
+  body_ = std::move(body);
+  on_finish_ = std::move(on_finish);
+  armed_ = true;
+  build_initial_frame();
+}
+
+}  // namespace icilk
+
+extern "C" void icilk_fiber_entry(void* fiber) {
+  auto* f = static_cast<icilk::Fiber*>(fiber);
+  // Run the body. Exceptions must not unwind off a fiber root: there is no
+  // caller frame to catch them and the unwinder would walk off the stack.
+  // The runtime's task wrapper catches application exceptions; anything
+  // reaching here is fatal by design.
+  f->body_(*f);
+  f->body_ = nullptr;
+  f->armed_ = false;
+  // on_finish must switch away and never return.
+  auto finish = std::move(f->on_finish_);
+  f->on_finish_ = nullptr;
+  finish();
+  std::fprintf(stderr, "icilk: fiber on_finish returned — aborting\n");
+  std::abort();
+}

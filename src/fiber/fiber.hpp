@@ -1,0 +1,90 @@
+// Stackful fibers: the execution contexts that populate deques.
+//
+// The runtime parks and resumes fibers constantly — every spawn parks the
+// parent as a deque-bottom continuation; every blocked get parks the whole
+// deque's bottom frame; promptness abandonment parks the active frame. A
+// parked fiber is nothing more than a stack plus a saved stack pointer; a
+// switch is ~10 callee-saved register moves (see context.S).
+//
+// Threading rules:
+//   * A fiber runs on exactly one OS thread at a time, but may migrate
+//     between threads across park/resume (it will, under work stealing).
+//     Fiber code must therefore re-read any thread-local state after every
+//     potentially-parking call; the core runtime wraps this.
+//   * The publish-after-park problem: a fiber must not become visible to
+//     other threads (pushed on a deque, registered as a waiter) until the
+//     switch away from it has completed, or a second thread could resume it
+//     while it still runs. Fiber::park() therefore takes a callback that the
+//     *destination* context runs after the switch.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "fiber/stack.hpp"
+
+extern "C" {
+void icilk_ctx_switch(void** save_sp, void* restore_sp);
+void icilk_fiber_entry_thunk();
+void icilk_fiber_entry(void* fiber);  // defined in fiber.cpp
+}
+
+namespace icilk {
+
+/// A bare saved context: either a fiber's or an OS thread's native stack.
+struct Context {
+  void* sp = nullptr;
+};
+
+class Fiber {
+ public:
+  using Body = std::function<void(Fiber&)>;
+
+  /// Creates a fiber over `stack` (takes ownership). The fiber is inert
+  /// until prepare() is called.
+  explicit Fiber(Stack&& stack) : stack_(std::move(stack)) {}
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Arms the fiber: the next resume() runs `body(*this)` from the top of
+  /// the stack. When the body returns, `on_finish` runs *on the fiber's
+  /// stack* and must escape via a final park/switch — it must not return.
+  void prepare(Body body, std::function<void()> on_finish);
+
+  /// True if prepare() has been called and the body has not finished.
+  bool armed() const noexcept { return armed_; }
+
+  /// Releases the stack for pooling; fiber must be unarmed/finished.
+  Stack take_stack() {
+    assert(!armed_);
+    return std::move(stack_);
+  }
+
+  Context& context() noexcept { return ctx_; }
+
+  /// Opaque per-fiber slot for the runtime (points at the owning Task).
+  void* user_data = nullptr;
+
+ private:
+  friend void ::icilk_fiber_entry(void* fiber);
+
+  void build_initial_frame();
+
+  Stack stack_;
+  Context ctx_{};
+  Body body_;
+  std::function<void()> on_finish_;
+  bool armed_ = false;
+};
+
+/// Switches from the context saved into `from` to `to`. On a later switch
+/// back, control returns here with `from` restored.
+inline void switch_context(Context& from, const Context& to) {
+  assert(to.sp != nullptr);
+  icilk_ctx_switch(&from.sp, to.sp);
+}
+
+}  // namespace icilk

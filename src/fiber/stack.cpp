@@ -1,0 +1,92 @@
+#include "fiber/stack.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace icilk {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t ps =
+      static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up(std::size_t n, std::size_t to) {
+  return (n + to - 1) / to * to;
+}
+
+}  // namespace
+
+Stack::Stack(std::size_t usable_size) {
+  const std::size_t ps = page_size();
+  usable_ = round_up(usable_size, ps);
+  mapped_ = usable_ + ps;  // one guard page at the low end
+  void* p = ::mmap(nullptr, mapped_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    std::perror("icilk: mmap fiber stack");
+    std::abort();
+  }
+  if (::mprotect(p, ps, PROT_NONE) != 0) {
+    std::perror("icilk: mprotect guard page");
+    std::abort();
+  }
+  base_ = p;
+}
+
+Stack::~Stack() {
+  if (base_) ::munmap(base_, mapped_);
+}
+
+Stack::Stack(Stack&& o) noexcept
+    : base_(std::exchange(o.base_, nullptr)),
+      mapped_(std::exchange(o.mapped_, 0)),
+      usable_(std::exchange(o.usable_, 0)) {}
+
+Stack& Stack::operator=(Stack&& o) noexcept {
+  if (this != &o) {
+    if (base_) ::munmap(base_, mapped_);
+    base_ = std::exchange(o.base_, nullptr);
+    mapped_ = std::exchange(o.mapped_, 0);
+    usable_ = std::exchange(o.usable_, 0);
+  }
+  return *this;
+}
+
+void* Stack::top() const noexcept {
+  // top is mapping end, which is page- (hence 16-byte-) aligned.
+  return static_cast<char*>(base_) + mapped_;
+}
+
+Stack StackPool::get() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!free_.empty()) {
+      Stack s = std::move(free_.back());
+      free_.pop_back();
+      return s;
+    }
+    ++total_allocated_;
+  }
+  return Stack(stack_size_);
+}
+
+void StackPool::put(Stack&& s) {
+  if (!s.valid()) return;
+  std::lock_guard<std::mutex> g(mu_);
+  if (free_.size() < max_cached_) free_.push_back(std::move(s));
+  // else: drop on the floor; destructor unmaps.
+}
+
+std::size_t StackPool::cached_for_test() {
+  std::lock_guard<std::mutex> g(mu_);
+  return free_.size();
+}
+
+}  // namespace icilk

@@ -1,0 +1,67 @@
+// Guard-paged execution stacks for fibers, with a recycling pool.
+//
+// Every suspended execution context in the runtime (a "frame" on a deque, a
+// blocked get, an abandoned bottom frame) is a fiber with its own stack, so
+// interactive workloads allocate and free stacks constantly — one per live
+// connection and more. mmap/munmap per fiber would dominate; the pool keeps
+// a free list and reuses mappings. Stacks carry a PROT_NONE guard page at
+// the low end so overflow faults instead of corrupting a neighbour.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace icilk {
+
+class Stack {
+ public:
+  static constexpr std::size_t kDefaultSize = 256 * 1024;
+
+  Stack() = default;
+  /// Maps `usable_size` bytes of stack plus one guard page. Aborts on OOM
+  /// (an unusable runtime is not recoverable mid-scheduler).
+  explicit Stack(std::size_t usable_size);
+  ~Stack();
+
+  Stack(Stack&& o) noexcept;
+  Stack& operator=(Stack&& o) noexcept;
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  /// Highest usable address (exclusive); 16-byte aligned. Stacks grow down.
+  void* top() const noexcept;
+  std::size_t usable_size() const noexcept { return usable_; }
+  bool valid() const noexcept { return base_ != nullptr; }
+
+ private:
+  void* base_ = nullptr;  // start of mapping (guard page)
+  std::size_t mapped_ = 0;
+  std::size_t usable_ = 0;
+};
+
+/// Thread-safe free list of uniformly sized stacks.
+class StackPool {
+ public:
+  explicit StackPool(std::size_t stack_size = Stack::kDefaultSize,
+                     std::size_t max_cached = 1024)
+      : stack_size_(stack_size), max_cached_(max_cached) {}
+
+  Stack get();
+  void put(Stack&& s);
+
+  std::size_t stack_size() const noexcept { return stack_size_; }
+  std::size_t cached_for_test();
+  std::size_t total_allocated_for_test() const noexcept {
+    return total_allocated_;
+  }
+
+ private:
+  const std::size_t stack_size_;
+  const std::size_t max_cached_;
+  std::mutex mu_;
+  std::vector<Stack> free_;
+  std::size_t total_allocated_ = 0;
+};
+
+}  // namespace icilk

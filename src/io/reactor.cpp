@@ -1,0 +1,309 @@
+#include "io/reactor.hpp"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace icilk {
+
+IoReactor::IoReactor(Runtime& rt, int num_threads) : rt_(rt) {
+  if (num_threads < 0) num_threads = rt.config().num_io_threads;
+  assert(num_threads >= 1);
+
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epfd_ < 0 || wake_fd_ < 0) {
+    std::perror("icilk: reactor setup");
+    std::abort();
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { io_thread_main(); });
+  }
+}
+
+IoReactor::~IoReactor() {
+  stop_.store(true, std::memory_order_seq_cst);
+  wake();
+  for (auto& t : threads_) t.join();
+  ::close(wake_fd_);
+  ::close(epfd_);
+}
+
+void IoReactor::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+// ---------------------------------------------------------------------------
+// Submitting operations
+// ---------------------------------------------------------------------------
+
+bool IoReactor::try_op_inline(Op& op) {
+  ssize_t r;
+  switch (op.kind) {
+    case OpKind::Read:
+      r = ::read(op.fd, op.buf, op.len);
+      break;
+    case OpKind::Write:
+      r = ::write(op.fd, op.cbuf, op.len);
+      break;
+    case OpKind::Accept:
+      r = ::accept4(op.fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      break;
+    default:
+      r = -1;
+      errno = EINVAL;
+  }
+  if (r >= 0) {
+    op.fut->set_value(r);
+    op.fut->complete();
+    return true;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+  if (errno == EINTR) return false;  // retry via epoll path
+  op.fut->set_value(-errno);
+  op.fut->complete();
+  return true;
+}
+
+void IoReactor::arm(std::unique_ptr<Op> op) {
+  FdEntry* entry;
+  {
+    std::lock_guard<std::mutex> g(fds_mu_);
+    auto& slot = fds_[op->fd];
+    if (!slot) slot = std::make_unique<FdEntry>();
+    entry = slot.get();
+  }
+  LockGuard<SpinLock> g(entry->mu);
+  // One pending op per direction per fd: the application layer serializes
+  // same-direction operations on a connection (as Memcached does).
+  const int fd = op->fd;
+  if (op->kind == OpKind::Write) {
+    assert(!entry->wr && "concurrent writes on one fd");
+    entry->wr = std::move(op);
+  } else {
+    assert(!entry->rd && "concurrent reads on one fd");
+    entry->rd = std::move(op);
+  }
+  update_interest(fd, *entry);
+}
+
+void IoReactor::update_interest(int fd, FdEntry& e) {
+  epoll_event ev{};
+  ev.data.fd = fd;
+  ev.events = EPOLLONESHOT;
+  if (e.rd) ev.events |= EPOLLIN | EPOLLRDHUP;
+  if (e.wr) ev.events |= EPOLLOUT;
+  if (!e.rd && !e.wr) return;  // nothing pending; ONESHOT left disarmed
+  // Robust against fd-number reuse: a closed fd silently leaves epoll, so
+  // MOD can hit ENOENT (re-ADD) and ADD can hit EEXIST (re-MOD).
+  if (!e.registered) {
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0 || errno == EEXIST) {
+      if (errno == EEXIST) ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+      e.registered = true;
+    }
+  } else if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0 &&
+             errno == ENOENT) {
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+Future<ssize_t> IoReactor::async_read(int fd, void* buf, std::size_t len) {
+  ops_submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto fut = Ref<FutureState<ssize_t>>::make(rt_);
+  auto op = std::make_unique<Op>();
+  op->kind = OpKind::Read;
+  op->fd = fd;
+  op->buf = buf;
+  op->len = len;
+  op->fut = fut;
+  if (try_op_inline(*op)) {
+    ops_inline_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    arm(std::move(op));
+  }
+  return Future<ssize_t>(std::move(fut));
+}
+
+Future<ssize_t> IoReactor::async_write(int fd, const void* buf,
+                                       std::size_t len) {
+  ops_submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto fut = Ref<FutureState<ssize_t>>::make(rt_);
+  auto op = std::make_unique<Op>();
+  op->kind = OpKind::Write;
+  op->fd = fd;
+  op->cbuf = buf;
+  op->len = len;
+  op->fut = fut;
+  if (try_op_inline(*op)) {
+    ops_inline_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    arm(std::move(op));
+  }
+  return Future<ssize_t>(std::move(fut));
+}
+
+Future<ssize_t> IoReactor::async_accept(int listen_fd) {
+  ops_submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto fut = Ref<FutureState<ssize_t>>::make(rt_);
+  auto op = std::make_unique<Op>();
+  op->kind = OpKind::Accept;
+  op->fd = listen_fd;
+  op->fut = fut;
+  if (try_op_inline(*op)) {
+    ops_inline_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    arm(std::move(op));
+  }
+  return Future<ssize_t>(std::move(fut));
+}
+
+Future<void> IoReactor::async_sleep(std::chrono::nanoseconds d) {
+  auto fut = Ref<FutureState<void>>::make(rt_);
+  const std::uint64_t deadline =
+      now_ns() + static_cast<std::uint64_t>(d.count());
+  {
+    std::lock_guard<std::mutex> g(timers_mu_);
+    timers_.push(Timer{deadline, fut});
+  }
+  wake();  // recompute epoll timeout
+  return Future<void>(std::move(fut));
+}
+
+// ---------------------------------------------------------------------------
+// Composite synchronous helpers
+// ---------------------------------------------------------------------------
+
+ssize_t IoReactor::read_exact(int fd, void* buf, std::size_t len) {
+  char* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t r = read_some(fd, p + got, len - got);
+    if (r < 0) return r;
+    if (r == 0) return got == 0 ? 0 : -EPIPE;  // EOF mid-message
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<ssize_t>(len);
+}
+
+ssize_t IoReactor::write_all(int fd, const void* buf, std::size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t put = 0;
+  while (put < len) {
+    const ssize_t r = write_some(fd, p + put, len - put);
+    if (r < 0) return r;
+    put += static_cast<std::size_t>(r);
+  }
+  return static_cast<ssize_t>(len);
+}
+
+// ---------------------------------------------------------------------------
+// I/O threads
+// ---------------------------------------------------------------------------
+
+int IoReactor::fire_timers() {
+  std::vector<Ref<FutureState<void>>> due;
+  int next_ms = -1;
+  {
+    std::lock_guard<std::mutex> g(timers_mu_);
+    const std::uint64_t now = now_ns();
+    while (!timers_.empty() && timers_.top().deadline_ns <= now) {
+      due.push_back(timers_.top().fut);
+      timers_.pop();
+    }
+    if (!timers_.empty()) {
+      const std::uint64_t delta = timers_.top().deadline_ns - now;
+      next_ms = static_cast<int>(delta / 1000000) + 1;
+    }
+  }
+  for (auto& f : due) f->complete();
+  return next_ms;
+}
+
+void IoReactor::handle_event(int fd, std::uint32_t events) {
+  FdEntry* entry;
+  {
+    std::lock_guard<std::mutex> g(fds_mu_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) return;
+    entry = it->second.get();
+  }
+  // Completed ops are collected under the lock and completed outside it
+  // (complete() re-enters the scheduler).
+  std::unique_ptr<Op> done_rd, done_wr;
+  {
+    LockGuard<SpinLock> g(entry->mu);
+    const bool rd_ready =
+        (events & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP)) != 0;
+    const bool wr_ready = (events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0;
+    if (rd_ready && entry->rd) {
+      // Perform the syscall now; EAGAIN (spurious wake) re-arms below.
+      Op& op = *entry->rd;
+      ssize_t r = (op.kind == OpKind::Accept)
+                      ? ::accept4(op.fd, nullptr, nullptr,
+                                  SOCK_NONBLOCK | SOCK_CLOEXEC)
+                      : ::read(op.fd, op.buf, op.len);
+      if (r >= 0) {
+        op.fut->set_value(r);
+        done_rd = std::move(entry->rd);
+      } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        op.fut->set_value(-errno);
+        done_rd = std::move(entry->rd);
+      }
+    }
+    if (wr_ready && entry->wr) {
+      Op& op = *entry->wr;
+      const ssize_t r = ::write(op.fd, op.cbuf, op.len);
+      if (r >= 0) {
+        op.fut->set_value(r);
+        done_wr = std::move(entry->wr);
+      } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        op.fut->set_value(-errno);
+        done_wr = std::move(entry->wr);
+      }
+    }
+    update_interest(fd, *entry);  // re-arm whatever remains (ONESHOT)
+  }
+  if (done_rd) done_rd->fut->complete();
+  if (done_wr) done_wr->fut->complete();
+}
+
+void IoReactor::io_thread_main() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int timeout_ms = fire_timers();
+    const int n = ::epoll_wait(epfd_, events, kMaxEvents,
+                               timeout_ms < 0 ? 100 : timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      handle_event(fd, events[i].events);
+    }
+  }
+}
+
+}  // namespace icilk

@@ -1,0 +1,145 @@
+// The I/O reactor behind I-Cilk's I/O futures.
+//
+// The paper (Sections 1-2, following [40]) gives tasks a SYNCHRONOUS I/O
+// interface with asynchronous-I/O performance: a task calls read() and just
+// gets the bytes — but under the hood a blocked operation suspends the
+// task's deque (the worker goes off to run other work) and dedicated I/O
+// handling threads drive epoll; when the operation completes, the future
+// completes, the deque becomes resumable, and the scheduler re-pools it.
+// The paper's Memcached configuration uses 4 worker + 4 I/O threads.
+//
+// Operation model: one-shot operations (read-some / write-some / accept /
+// connect / sleep). Each op first tries the nonblocking syscall inline
+// (the common "data already there" fast path completes without suspension);
+// on EAGAIN it arms the fd in epoll (EPOLLONESHOT; per-fd slots for one
+// pending read and one pending write). Results are C-style: >= 0 on
+// success, -errno on failure.
+//
+// Composite helpers (read_exact / write_all) and synchronous task-facing
+// wrappers live on top of the one-shot futures.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "concurrent/spinlock.hpp"
+#include "core/future.hpp"
+#include "core/runtime.hpp"
+
+namespace icilk {
+
+class IoReactor {
+ public:
+  /// Spawns `num_threads` I/O handling threads over one epoll instance
+  /// (defaults to the runtime config's num_io_threads).
+  explicit IoReactor(Runtime& rt, int num_threads = -1);
+  ~IoReactor();
+
+  IoReactor(const IoReactor&) = delete;
+  IoReactor& operator=(const IoReactor&) = delete;
+
+  Runtime& runtime() noexcept { return rt_; }
+
+  // ---- one-shot asynchronous operations (futures) ----
+
+  /// Reads up to `len` bytes once the fd is readable. Resolves to the byte
+  /// count (0 = EOF) or -errno. fd must be nonblocking.
+  Future<ssize_t> async_read(int fd, void* buf, std::size_t len);
+
+  /// Writes up to `len` bytes once the fd is writable.
+  Future<ssize_t> async_write(int fd, const void* buf, std::size_t len);
+
+  /// Accepts one connection; resolves to a nonblocking connected fd or
+  /// -errno. `listen_fd` must be nonblocking.
+  Future<ssize_t> async_accept(int listen_fd);
+
+  /// Resolves (to 0) after `d` elapses.
+  Future<void> async_sleep(std::chrono::nanoseconds d);
+
+  // ---- synchronous task-facing wrappers (block the TASK, not the worker) -
+
+  ssize_t read_some(int fd, void* buf, std::size_t len) {
+    return async_read(fd, buf, len).get();
+  }
+  ssize_t write_some(int fd, const void* buf, std::size_t len) {
+    return async_write(fd, buf, len).get();
+  }
+  /// Reads exactly `len` bytes; returns len, 0 on clean EOF at offset 0,
+  /// or -errno (including -ECONNRESET style short reads as -EPIPE).
+  ssize_t read_exact(int fd, void* buf, std::size_t len);
+  /// Writes all `len` bytes; returns len or -errno.
+  ssize_t write_all(int fd, const void* buf, std::size_t len);
+  ssize_t accept(int listen_fd) { return async_accept(listen_fd).get(); }
+  void sleep_for(std::chrono::nanoseconds d) { async_sleep(d).get(); }
+
+  // introspection
+  std::uint64_t ops_submitted_for_test() const {
+    return ops_submitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ops_inline_for_test() const {
+    return ops_inline_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class OpKind { Read, Write, Accept };
+
+  struct Op {
+    OpKind kind;
+    int fd;
+    void* buf = nullptr;
+    const void* cbuf = nullptr;
+    std::size_t len = 0;
+    Ref<FutureState<ssize_t>> fut;
+  };
+
+  struct FdEntry {
+    SpinLock mu;
+    std::unique_ptr<Op> rd;  // pending read/accept
+    std::unique_ptr<Op> wr;  // pending write
+    bool registered = false; // fd known to epoll
+  };
+
+  struct Timer {
+    std::uint64_t deadline_ns;
+    Ref<FutureState<void>> fut;
+    bool operator>(const Timer& o) const {
+      return deadline_ns > o.deadline_ns;
+    }
+  };
+
+  /// Attempts the op's syscall; true if it finished (future completed).
+  static bool try_op_inline(Op& op);
+  /// Parks the op in the fd's slot and (re)arms epoll interest.
+  void arm(std::unique_ptr<Op> op);
+  void update_interest(int fd, FdEntry& e);  // caller holds e.mu
+  void io_thread_main();
+  void handle_event(int fd, std::uint32_t events);
+  /// Fires due timers; returns ms until the next one (or -1).
+  int fire_timers();
+  void wake();
+
+  Runtime& rt_;
+  int epfd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+
+  std::mutex fds_mu_;
+  std::unordered_map<int, std::unique_ptr<FdEntry>> fds_;
+
+  std::mutex timers_mu_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+
+  std::atomic<std::uint64_t> ops_submitted_{0};
+  std::atomic<std::uint64_t> ops_inline_{0};
+};
+
+}  // namespace icilk

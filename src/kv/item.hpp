@@ -1,0 +1,37 @@
+// Cache items for the minicached storage engine.
+//
+// Mirrors the fields of memcached's `item`: key, opaque client flags, an
+// expiration time, a CAS (compare-and-swap) id incremented on every store,
+// and the value bytes. Items are intrusively linked into their bucket's
+// recency list (front = most recently used), which is what gives each
+// bucket its approximate-LRU ordering (Section 3: "within each bucket, the
+// objects are organized in (approximately) least-recently-used order").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace icilk::kv {
+
+struct Item {
+  std::string key;
+  std::string value;
+  std::uint32_t flags = 0;
+  /// Absolute steady-clock deadline in ns; 0 = never expires.
+  std::uint64_t expire_ns = 0;
+  std::uint64_t cas = 0;
+
+  // Intrusive per-bucket recency list.
+  Item* next = nullptr;
+  Item* prev = nullptr;
+
+  std::size_t bytes() const noexcept {
+    return key.size() + value.size() + sizeof(Item);
+  }
+
+  bool expired(std::uint64_t now_ns) const noexcept {
+    return expire_ns != 0 && expire_ns <= now_ns;
+  }
+};
+
+}  // namespace icilk::kv

@@ -1,0 +1,450 @@
+#include "kv/store.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cstring>
+
+#include "concurrent/cacheline.hpp"
+#include "concurrent/clock.hpp"
+
+namespace icilk::kv {
+
+namespace {
+
+/// FNV-1a; memcached defaults to murmur/jenkins, any well-mixed hash does.
+std::uint64_t hash_key(std::string_view key) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool is_power_of_two(std::size_t v) { return v && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+std::uint64_t ttl_from_seconds(double seconds) {
+  if (seconds <= 0) return 0;
+  return now_ns() + static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+Store::Store(const Config& cfg) : cfg_(cfg) {
+  assert(is_power_of_two(cfg_.num_buckets));
+  assert(is_power_of_two(cfg_.num_stripes));
+  assert(cfg_.num_stripes <= cfg_.num_buckets);
+  buckets_.resize(cfg_.num_buckets);
+  stripes_ = std::vector<CacheAligned<SpinLock>>(cfg_.num_stripes);
+}
+
+Store::~Store() {
+  for (auto& b : buckets_) {
+    Item* it = b.head;
+    while (it) {
+      Item* next = it->next;
+      delete it;
+      it = next;
+    }
+  }
+}
+
+std::size_t Store::bucket_of(std::string_view key) const noexcept {
+  return hash_key(key) & (cfg_.num_buckets - 1);
+}
+
+// ---- list helpers (stripe lock held) --------------------------------------
+
+void Store::push_front(Bucket& b, Item* it) {
+  it->prev = nullptr;
+  it->next = b.head;
+  if (b.head) b.head->prev = it;
+  b.head = it;
+  if (!b.tail) b.tail = it;
+}
+
+void Store::unlink(Bucket& b, Item* it) {
+  if (it->prev) {
+    it->prev->next = it->next;
+  } else {
+    b.head = it->next;
+  }
+  if (it->next) {
+    it->next->prev = it->prev;
+  } else {
+    b.tail = it->prev;
+  }
+  it->prev = it->next = nullptr;
+}
+
+void Store::move_to_front(Bucket& b, Item* it) {
+  if (b.head == it) return;
+  unlink(b, it);
+  push_front(b, it);
+}
+
+void Store::destroy(Bucket& b, Item* it, bool count_eviction,
+                    bool count_expired) {
+  unlink(b, it);
+  bytes_.fetch_sub(it->bytes(), std::memory_order_relaxed);
+  items_.fetch_sub(1, std::memory_order_relaxed);
+  if (count_eviction) evictions_.fetch_add(1, std::memory_order_relaxed);
+  if (count_expired) expired_.fetch_add(1, std::memory_order_relaxed);
+  delete it;
+}
+
+Item* Store::find(Bucket& b, std::string_view key, std::uint64_t now) {
+  Item* it = b.head;
+  while (it) {
+    Item* next = it->next;
+    if (it->key == key) {
+      if (it->expired(now)) {
+        destroy(b, it, false, true);
+        return nullptr;
+      }
+      return it;
+    }
+    it = next;
+  }
+  return nullptr;
+}
+
+void Store::make_room(Bucket& b, std::size_t incoming) {
+  const std::uint64_t now = now_ns();
+  // First reclaim expired items in this bucket, then trim from the LRU
+  // tail until the global budget accommodates the incoming bytes.
+  Item* it = b.head;
+  while (it) {
+    Item* next = it->next;
+    if (it->expired(now)) destroy(b, it, false, true);
+    it = next;
+  }
+  while (b.tail != nullptr &&
+         bytes_.load(std::memory_order_relaxed) + incoming > cfg_.max_bytes) {
+    destroy(b, b.tail, true, false);
+  }
+}
+
+// ---- public operations -----------------------------------------------------
+
+std::optional<Store::GetResult> Store::get(std::string_view key) {
+  const std::size_t bi = bucket_of(key);
+  LockGuard<SpinLock> g(stripe_of(bi));
+  Bucket& b = buckets_[bi];
+  Item* it = find(b, key, now_ns());
+  if (it == nullptr) {
+    get_misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  move_to_front(b, it);  // the per-bucket approximate-LRU policy
+  get_hits_.fetch_add(1, std::memory_order_relaxed);
+  return GetResult{it->value, it->flags, it->cas};
+}
+
+StoreResult Store::upsert(std::string_view key, std::string_view value,
+                          std::uint32_t flags, std::uint64_t ttl_ns,
+                          bool require_present, bool require_absent,
+                          std::uint64_t expected_cas, bool has_cas) {
+  const std::size_t bi = bucket_of(key);
+  LockGuard<SpinLock> g(stripe_of(bi));
+  Bucket& b = buckets_[bi];
+  Item* it = find(b, key, now_ns());
+
+  if (it == nullptr) {
+    if (require_present) {
+      return has_cas ? StoreResult::NotFound : StoreResult::NotStored;
+    }
+    auto* fresh = new Item;
+    fresh->key.assign(key);
+    fresh->value.assign(value);
+    fresh->flags = flags;
+    fresh->expire_ns = ttl_ns;
+    fresh->cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
+    make_room(b, fresh->bytes());
+    push_front(b, fresh);
+    bytes_.fetch_add(fresh->bytes(), std::memory_order_relaxed);
+    items_.fetch_add(1, std::memory_order_relaxed);
+    sets_.fetch_add(1, std::memory_order_relaxed);
+    return StoreResult::Stored;
+  }
+
+  if (require_absent) return StoreResult::NotStored;
+  if (has_cas && it->cas != expected_cas) return StoreResult::Exists;
+
+  bytes_.fetch_sub(it->bytes(), std::memory_order_relaxed);
+  it->value.assign(value);
+  it->flags = flags;
+  it->expire_ns = ttl_ns;
+  it->cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(it->bytes(), std::memory_order_relaxed);
+  move_to_front(b, it);
+  sets_.fetch_add(1, std::memory_order_relaxed);
+  // Budget may have grown; trim from this bucket best-effort.
+  if (bytes_.load(std::memory_order_relaxed) > cfg_.max_bytes) {
+    make_room(b, 0);
+  }
+  return StoreResult::Stored;
+}
+
+StoreResult Store::set(std::string_view key, std::string_view value,
+                       std::uint32_t flags, std::uint64_t ttl_ns) {
+  return upsert(key, value, flags, ttl_ns, false, false, 0, false);
+}
+
+StoreResult Store::add(std::string_view key, std::string_view value,
+                       std::uint32_t flags, std::uint64_t ttl_ns) {
+  return upsert(key, value, flags, ttl_ns, false, true, 0, false);
+}
+
+StoreResult Store::replace(std::string_view key, std::string_view value,
+                           std::uint32_t flags, std::uint64_t ttl_ns) {
+  return upsert(key, value, flags, ttl_ns, true, false, 0, false);
+}
+
+StoreResult Store::check_and_set(std::string_view key, std::string_view value,
+                                 std::uint32_t flags, std::uint64_t ttl_ns,
+                                 std::uint64_t expected_cas) {
+  return upsert(key, value, flags, ttl_ns, true, false, expected_cas, true);
+}
+
+StoreResult Store::splice(std::string_view key, std::string_view value,
+                          bool at_end) {
+  const std::size_t bi = bucket_of(key);
+  LockGuard<SpinLock> g(stripe_of(bi));
+  Bucket& b = buckets_[bi];
+  Item* it = find(b, key, now_ns());
+  if (it == nullptr) return StoreResult::NotStored;
+  bytes_.fetch_sub(it->bytes(), std::memory_order_relaxed);
+  if (at_end) {
+    it->value.append(value);
+  } else {
+    it->value.insert(0, value);
+  }
+  it->cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(it->bytes(), std::memory_order_relaxed);
+  move_to_front(b, it);
+  sets_.fetch_add(1, std::memory_order_relaxed);
+  return StoreResult::Stored;
+}
+
+StoreResult Store::append(std::string_view key, std::string_view value) {
+  return splice(key, value, true);
+}
+
+StoreResult Store::prepend(std::string_view key, std::string_view value) {
+  return splice(key, value, false);
+}
+
+bool Store::erase(std::string_view key) {
+  const std::size_t bi = bucket_of(key);
+  LockGuard<SpinLock> g(stripe_of(bi));
+  Bucket& b = buckets_[bi];
+  Item* it = find(b, key, now_ns());
+  if (it == nullptr) return false;
+  destroy(b, it, false, false);
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Store::touch(std::string_view key, std::uint64_t ttl_ns) {
+  const std::size_t bi = bucket_of(key);
+  LockGuard<SpinLock> g(stripe_of(bi));
+  Bucket& b = buckets_[bi];
+  Item* it = find(b, key, now_ns());
+  if (it == nullptr) return false;
+  it->expire_ns = ttl_ns;
+  move_to_front(b, it);
+  return true;
+}
+
+CounterResult Store::incr(std::string_view key, std::uint64_t delta,
+                                 std::uint64_t* out) {
+  const std::size_t bi = bucket_of(key);
+  LockGuard<SpinLock> g(stripe_of(bi));
+  Bucket& b = buckets_[bi];
+  Item* it = find(b, key, now_ns());
+  if (it == nullptr) return CounterResult::NotFound;
+  std::uint64_t v = 0;
+  const auto [p, ec] = std::from_chars(
+      it->value.data(), it->value.data() + it->value.size(), v);
+  if (ec != std::errc() || p != it->value.data() + it->value.size()) {
+    return CounterResult::NotNumeric;
+  }
+  v += delta;
+  bytes_.fetch_sub(it->bytes(), std::memory_order_relaxed);
+  it->value = std::to_string(v);
+  it->cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(it->bytes(), std::memory_order_relaxed);
+  *out = v;
+  return CounterResult::Ok;
+}
+
+CounterResult Store::decr(std::string_view key, std::uint64_t delta,
+                                 std::uint64_t* out) {
+  const std::size_t bi = bucket_of(key);
+  LockGuard<SpinLock> g(stripe_of(bi));
+  Bucket& b = buckets_[bi];
+  Item* it = find(b, key, now_ns());
+  if (it == nullptr) return CounterResult::NotFound;
+  std::uint64_t v = 0;
+  const auto [p, ec] = std::from_chars(
+      it->value.data(), it->value.data() + it->value.size(), v);
+  if (ec != std::errc() || p != it->value.data() + it->value.size()) {
+    return CounterResult::NotNumeric;
+  }
+  v = (delta > v) ? 0 : v - delta;  // memcached clamps at zero
+  bytes_.fetch_sub(it->bytes(), std::memory_order_relaxed);
+  it->value = std::to_string(v);
+  it->cas = cas_counter_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(it->bytes(), std::memory_order_relaxed);
+  *out = v;
+  return CounterResult::Ok;
+}
+
+void Store::flush_all() {
+  for (std::size_t bi = 0; bi < cfg_.num_buckets; ++bi) {
+    LockGuard<SpinLock> g(stripe_of(bi));
+    Bucket& b = buckets_[bi];
+    while (b.head != nullptr) destroy(b, b.head, false, false);
+  }
+}
+
+std::size_t Store::crawl_expired(std::size_t max_buckets) {
+  const std::uint64_t now = now_ns();
+  std::size_t reclaimed = 0;
+  for (std::size_t n = 0; n < max_buckets; ++n) {
+    const std::size_t bi =
+        crawl_cursor_.fetch_add(1, std::memory_order_relaxed) &
+        (cfg_.num_buckets - 1);
+    LockGuard<SpinLock> g(stripe_of(bi));
+    Bucket& b = buckets_[bi];
+    Item* it = b.head;
+    while (it != nullptr) {
+      Item* next = it->next;
+      if (it->expired(now)) {
+        destroy(b, it, false, true);
+        ++reclaimed;
+      }
+      it = next;
+    }
+  }
+  return reclaimed;
+}
+
+StoreStats Store::stats() const {
+  StoreStats s;
+  s.get_hits = get_hits_.load(std::memory_order_relaxed);
+  s.get_misses = get_misses_.load(std::memory_order_relaxed);
+  s.sets = sets_.load(std::memory_order_relaxed);
+  s.deletes = deletes_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.expired_reclaimed = expired_.load(std::memory_order_relaxed);
+  s.curr_items = items_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization (background persistence)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+bool get_u32(std::string_view in, std::size_t& pos, std::uint32_t& v) {
+  if (pos + 4 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
+  pos += 4;
+  return true;
+}
+
+bool get_u64(std::string_view in, std::size_t& pos, std::uint64_t& v) {
+  if (pos + 8 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
+  pos += 8;
+  return true;
+}
+
+constexpr std::uint32_t kSnapshotMagic = 0x4D435348;  // "MCSH"
+
+}  // namespace
+
+std::string Store::serialize() {
+  std::string out;
+  put_u32(out, kSnapshotMagic);
+  const std::size_t count_at = out.size();
+  put_u64(out, 0);  // patched below
+  std::uint64_t count = 0;
+  const std::uint64_t now = now_ns();
+  for (std::size_t bi = 0; bi < cfg_.num_buckets; ++bi) {
+    LockGuard<SpinLock> g(stripe_of(bi));
+    for (Item* it = buckets_[bi].head; it != nullptr; it = it->next) {
+      if (it->expired(now)) continue;
+      put_u32(out, static_cast<std::uint32_t>(it->key.size()));
+      out.append(it->key);
+      put_u32(out, static_cast<std::uint32_t>(it->value.size()));
+      out.append(it->value);
+      put_u32(out, it->flags);
+      // Remaining TTL (0 = never) so restores re-anchor to their own now.
+      put_u64(out, it->expire_ns == 0 ? 0 : it->expire_ns - now);
+      ++count;
+    }
+  }
+  for (int i = 0; i < 8; ++i) {
+    out[count_at + static_cast<std::size_t>(i)] =
+        static_cast<char>((count >> (8 * i)) & 0xFF);
+  }
+  return out;
+}
+
+long Store::deserialize(std::string_view blob) {
+  std::size_t pos = 0;
+  std::uint32_t magic = 0;
+  std::uint64_t count = 0;
+  if (!get_u32(blob, pos, magic) || magic != kSnapshotMagic ||
+      !get_u64(blob, pos, count)) {
+    return -1;
+  }
+  const std::uint64_t now = now_ns();
+  long restored = 0;
+  std::string key, value;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t klen = 0, vlen = 0, flags = 0;
+    std::uint64_t ttl_rel = 0;
+    if (!get_u32(blob, pos, klen) || pos + klen > blob.size()) return -1;
+    key.assign(blob.substr(pos, klen));
+    pos += klen;
+    if (!get_u32(blob, pos, vlen) || pos + vlen > blob.size()) return -1;
+    value.assign(blob.substr(pos, vlen));
+    pos += vlen;
+    if (!get_u32(blob, pos, flags) || !get_u64(blob, pos, ttl_rel)) {
+      return -1;
+    }
+    set(key, value, flags, ttl_rel == 0 ? 0 : now + ttl_rel);
+    ++restored;
+  }
+  return restored;
+}
+
+}  // namespace icilk::kv

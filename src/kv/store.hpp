@@ -1,0 +1,156 @@
+// The minicached storage engine: a lock-striped hash table with
+// per-bucket LRU ordering, lazy expiry, a global byte budget with
+// LRU-tail eviction, and CAS semantics — the in-memory key-value store at
+// the heart of the Memcached server the paper ports (Section 3).
+//
+// Concurrency: buckets are grouped into lock stripes; every operation
+// locks exactly one stripe (single-key ops) — reproducing memcached's
+// fine-grained item locking. Byte accounting and CAS ids are global
+// atomics. Operations are linearizable per key.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "concurrent/cacheline.hpp"
+#include "concurrent/spinlock.hpp"
+#include "kv/item.hpp"
+
+namespace icilk::kv {
+
+/// Result codes matching the memcached text protocol's storage replies.
+enum class StoreResult { Stored, NotStored, Exists, NotFound };
+enum class CounterResult { Ok, NotFound, NotNumeric };
+
+struct StoreStats {
+  std::uint64_t get_hits = 0;
+  std::uint64_t get_misses = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t expired_reclaimed = 0;
+  std::uint64_t curr_items = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Store {
+ public:
+  struct Config {
+    std::size_t num_buckets = 1 << 14;   ///< power of two
+    std::size_t num_stripes = 1 << 8;    ///< power of two, <= num_buckets
+    std::size_t max_bytes = 64u << 20;   ///< eviction budget
+  };
+
+  explicit Store(const Config& cfg);
+  Store() : Store(Config{}) {}
+  ~Store();
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  /// Value+metadata copy-out on hit (moves the item to its bucket front).
+  struct GetResult {
+    std::string value;
+    std::uint32_t flags = 0;
+    std::uint64_t cas = 0;
+  };
+  std::optional<GetResult> get(std::string_view key);
+
+  StoreResult set(std::string_view key, std::string_view value,
+                  std::uint32_t flags, std::uint64_t ttl_ns);
+  StoreResult add(std::string_view key, std::string_view value,
+                  std::uint32_t flags, std::uint64_t ttl_ns);
+  StoreResult replace(std::string_view key, std::string_view value,
+                      std::uint32_t flags, std::uint64_t ttl_ns);
+  StoreResult append(std::string_view key, std::string_view value);
+  StoreResult prepend(std::string_view key, std::string_view value);
+  /// Stores only if the item's CAS id still equals `expected_cas`.
+  StoreResult check_and_set(std::string_view key, std::string_view value,
+                            std::uint32_t flags, std::uint64_t ttl_ns,
+                            std::uint64_t expected_cas);
+
+  bool erase(std::string_view key);
+  bool touch(std::string_view key, std::uint64_t ttl_ns);
+  CounterResult incr(std::string_view key, std::uint64_t delta,
+                     std::uint64_t* out);
+  CounterResult decr(std::string_view key, std::uint64_t delta,
+                     std::uint64_t* out);
+  void flush_all();
+
+  /// One LRU-crawler pass over up to `max_buckets` buckets starting at a
+  /// rotating cursor: reclaims expired items (the background-thread duty
+  /// from Section 3). Returns items reclaimed.
+  std::size_t crawl_expired(std::size_t max_buckets);
+
+  /// Serializes every live (unexpired) item into a portable byte blob —
+  /// the payload behind minicached's background persistence task (the
+  /// original writes cache contents to external storage when configured,
+  /// Section 3). Buckets are snapshotted one stripe at a time, so the dump
+  /// is per-key consistent but not a global atomic snapshot (matching
+  /// memcached's warm-restart semantics).
+  std::string serialize();
+
+  /// Loads a serialize() blob into this (empty or not) store; existing
+  /// keys are overwritten. Returns items restored, or -1 on corrupt input.
+  /// TTLs are restored as absolute deadlines (expired entries dropped).
+  long deserialize(std::string_view blob);
+
+  StoreStats stats() const;
+  std::size_t bytes_used() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  std::size_t item_count() const noexcept {
+    return items_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Bucket {
+    Item* head = nullptr;  // most recently used
+    Item* tail = nullptr;  // least recently used
+  };
+
+  std::size_t bucket_of(std::string_view key) const noexcept;
+  SpinLock& stripe_of(std::size_t bucket) noexcept {
+    return stripes_[bucket & (cfg_.num_stripes - 1)].value;
+  }
+
+  // All helpers below require the bucket's stripe lock.
+  Item* find(Bucket& b, std::string_view key, std::uint64_t now);
+  void push_front(Bucket& b, Item* it);
+  void unlink(Bucket& b, Item* it);
+  void move_to_front(Bucket& b, Item* it);
+  void destroy(Bucket& b, Item* it, bool count_eviction, bool count_expired);
+  /// Frees expired/LRU-tail items in THIS bucket until the budget fits
+  /// `incoming` more bytes (best effort; other buckets handled by the
+  /// crawler and by sampling on later inserts).
+  void make_room(Bucket& b, std::size_t incoming);
+  StoreResult upsert(std::string_view key, std::string_view value,
+                     std::uint32_t flags, std::uint64_t ttl_ns,
+                     bool require_present, bool require_absent,
+                     std::uint64_t expected_cas, bool has_cas);
+  StoreResult splice(std::string_view key, std::string_view value,
+                     bool at_end);
+
+  const Config cfg_;
+  std::vector<Bucket> buckets_;
+  std::vector<icilk::CacheAligned<SpinLock>> stripes_;
+  std::atomic<std::uint64_t> cas_counter_{1};
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::size_t> items_{0};
+  std::atomic<std::size_t> crawl_cursor_{0};
+
+  // Stats (relaxed; exactness not required, mirrors memcached counters).
+  mutable std::atomic<std::uint64_t> get_hits_{0}, get_misses_{0}, sets_{0},
+      deletes_{0}, evictions_{0}, expired_{0};
+};
+
+/// TTL helper: memcached exptime semantics (0 = never) mapped to ns.
+std::uint64_t ttl_from_seconds(double seconds);
+
+}  // namespace icilk::kv

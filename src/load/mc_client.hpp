@@ -1,0 +1,81 @@
+// Open-loop memcached load driver (the role of the Palit et al. driver in
+// the paper's evaluation).
+//
+// One driver thread multiplexes `connections` TCP connections to the
+// server with raw epoll. Requests fire at SCHEDULED times (open loop);
+// responses are parsed with a proper protocol scanner (length-prefixed
+// VALUE blocks, so binary values cannot confuse the terminator search);
+// latency = response completion - scheduled arrival, recorded into a
+// shared Histogram. Run several McClient instances on separate threads to
+// model multiple client machines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "concurrent/rng.hpp"
+#include "load/histogram.hpp"
+
+namespace icilk::load {
+
+class McClient {
+ public:
+  struct Config {
+    std::uint16_t port = 0;
+    int connections = 64;       ///< concurrent client connections
+    int keyspace = 4096;        ///< number of distinct keys
+    int value_size = 100;       ///< bytes per value
+    double get_fraction = 0.9;  ///< remainder are sets
+    std::uint64_t seed = 1;
+  };
+
+  explicit McClient(const Config& cfg);
+  ~McClient();
+
+  McClient(const McClient&) = delete;
+  McClient& operator=(const McClient&) = delete;
+
+  /// Connects and preloads the keyspace (noreply sets + a sync point).
+  /// Returns false on connection failure.
+  bool setup();
+
+  /// Fires `arrivals` (ns offsets from "now") and records latencies into
+  /// `hist`. Blocks until every response arrived (or `drain_timeout_s`
+  /// after the last arrival). Returns completed request count.
+  std::size_t run(const std::vector<std::uint64_t>& arrivals,
+                  Histogram& hist, double drain_timeout_s = 10.0);
+
+  std::uint64_t errors() const noexcept { return errors_; }
+
+ private:
+  struct Pending {
+    std::uint64_t arrival_ns;
+    bool is_get;
+  };
+  struct Conn {
+    int fd = -1;
+    std::string out;        // unsent request bytes
+    std::string in;         // unparsed response bytes
+    std::size_t parse_pos = 0;
+    std::vector<Pending> pending;  // FIFO: responses arrive in order
+    std::size_t pending_head = 0;
+  };
+
+  void fire_request(Conn& c, std::uint64_t arrival_ns);
+  bool flush(Conn& c);          // false on fatal error
+  bool drain_input(Conn& c, Histogram& hist);
+  /// Scans one complete response at the head of c.in; true if consumed.
+  bool consume_response(Conn& c, Histogram& hist);
+  std::string key_of(int i) const;
+
+  Config cfg_;
+  Xoshiro256 rng_;
+  std::vector<Conn> conns_;
+  int epfd_ = -1;
+  std::uint64_t errors_ = 0;
+  std::string value_;
+  std::size_t rr_ = 0;
+};
+
+}  // namespace icilk::load

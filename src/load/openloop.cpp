@@ -1,0 +1,56 @@
+#include "load/openloop.hpp"
+
+#include <time.h>
+
+#include <cmath>
+
+namespace icilk::load {
+
+std::vector<std::uint64_t> poisson_schedule(double rps, double duration_s,
+                                            std::uint64_t seed) {
+  std::vector<std::uint64_t> arrivals;
+  if (rps <= 0 || duration_s <= 0) return arrivals;
+  arrivals.reserve(static_cast<std::size_t>(rps * duration_s * 1.2) + 16);
+  Xoshiro256 rng(seed);
+  const double horizon_ns = duration_s * 1e9;
+  double t = 0;
+  for (;;) {
+    // Exponential inter-arrival with mean 1/rps seconds.
+    const double u = rng.uniform();
+    t += -std::log(1.0 - u) / rps * 1e9;
+    if (t >= horizon_ns) break;
+    arrivals.push_back(static_cast<std::uint64_t>(t));
+  }
+  return arrivals;
+}
+
+std::vector<std::uint64_t> uniform_schedule(double rps, double duration_s) {
+  std::vector<std::uint64_t> arrivals;
+  if (rps <= 0 || duration_s <= 0) return arrivals;
+  const double gap_ns = 1e9 / rps;
+  const double horizon_ns = duration_s * 1e9;
+  for (double t = gap_ns; t < horizon_ns; t += gap_ns) {
+    arrivals.push_back(static_cast<std::uint64_t>(t));
+  }
+  return arrivals;
+}
+
+void wait_until_ns(std::uint64_t deadline_ns) {
+  for (;;) {
+    const std::uint64_t now = now_ns();
+    if (now >= deadline_ns) return;
+    const std::uint64_t delta = deadline_ns - now;
+    if (delta > 200000) {  // > 200us out: sleep most of it
+      timespec ts;
+      ts.tv_sec = static_cast<time_t>((delta - 100000) / 1000000000ull);
+      ts.tv_nsec = static_cast<long>((delta - 100000) % 1000000000ull);
+      ::nanosleep(&ts, nullptr);
+    } else if (delta > 5000) {
+      timespec ts{0, 1000};
+      ::nanosleep(&ts, nullptr);
+    }
+    // else: tight re-check (sub-5us precision window)
+  }
+}
+
+}  // namespace icilk::load

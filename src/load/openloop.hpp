@@ -1,0 +1,30 @@
+// Open-loop load generation.
+//
+// Interactive-service benchmarking demands OPEN-loop arrivals: requests are
+// injected on a schedule independent of the server's progress, so queueing
+// delay shows up in the measured latency instead of silently throttling the
+// offered load (the classic closed-loop coordination-omission mistake).
+// Latency is measured from the SCHEDULED arrival time, mutilate-style.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "concurrent/clock.hpp"
+#include "concurrent/rng.hpp"
+
+namespace icilk::load {
+
+/// Poisson arrival process at `rps` for `duration_s`, returning offsets in
+/// ns from the epoch passed to start. Deterministic for a given seed.
+std::vector<std::uint64_t> poisson_schedule(double rps, double duration_s,
+                                            std::uint64_t seed);
+
+/// Fixed-rate (uniform) schedule.
+std::vector<std::uint64_t> uniform_schedule(double rps, double duration_s);
+
+/// Busy-free waiting until an absolute now_ns() deadline: sleeps in chunks
+/// and spins the last ~50us for precision without burning the core.
+void wait_until_ns(std::uint64_t deadline_ns);
+
+}  // namespace icilk::load

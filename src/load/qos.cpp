@@ -1,0 +1,24 @@
+#include "load/qos.hpp"
+
+namespace icilk::load {
+
+double find_max_rps(const std::function<double(double rps)>& trial,
+                    const QosCriterion& criterion, double lo, double hi,
+                    double step) {
+  auto passes = [&](double rps) {
+    return trial(rps) <= criterion.limit_ns;
+  };
+  if (!passes(lo)) return 0.0;   // even the floor violates QoS
+  if (passes(hi)) return hi;     // ceiling passes: report it
+  while (hi - lo > step) {
+    const double mid = (lo + hi) / 2;
+    if (passes(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace icilk::load

@@ -1,0 +1,26 @@
+// QoS search: the paper's Memcached methodology (after Palit et al. [36])
+// defines capacity as the maximum requests-per-second whose p95 latency
+// stays under 10ms, found by binary search on RPS with a fixed client
+// count. The search is generic over a "run one trial at R rps -> latency
+// percentile" callback so every server frontend reuses it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace icilk::load {
+
+struct QosCriterion {
+  double quantile = 0.95;
+  double limit_ns = 10e6;  // 10 ms
+};
+
+/// Runs `trial(rps)` (returning the latency at `criterion.quantile` in ns)
+/// on a binary search between lo and hi; returns the highest passing RPS
+/// (granularity `step`). lo is assumed passing, hi failing — both bounds
+/// are probed first and adjusted if that assumption is wrong.
+double find_max_rps(const std::function<double(double rps)>& trial,
+                    const QosCriterion& criterion, double lo, double hi,
+                    double step);
+
+}  // namespace icilk::load

@@ -1,0 +1,110 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace icilk::net {
+
+namespace {
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+int set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return -errno;
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return -errno;
+  return 0;
+}
+
+int set_nodelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return -errno;
+  }
+  return 0;
+}
+
+int listen_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -errno;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 1024) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return -err;
+  }
+  if (const int r = set_nonblocking(fd); r < 0) {
+    ::close(fd);
+    return r;
+  }
+  return fd;
+}
+
+int local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return -errno;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int connect_tcp_nonblocking(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -errno;
+  if (const int r = set_nonblocking(fd); r < 0) {
+    ::close(fd);
+    return r;
+  }
+  sockaddr_in addr = loopback(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
+    const int err = errno;
+    ::close(fd);
+    return -err;
+  }
+  return fd;
+}
+
+int connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -errno;
+  sockaddr_in addr = loopback(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return -err;
+  }
+  if (const int r = set_nonblocking(fd); r < 0) {
+    ::close(fd);
+    return r;
+  }
+  return fd;
+}
+
+int socket_error(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) return -errno;
+  return err;
+}
+
+}  // namespace icilk::net

@@ -1,0 +1,35 @@
+// Small socket utilities shared by servers, clients, and tests: loopback
+// TCP listeners, nonblocking connects, and option plumbing. All functions
+// return >= 0 fds or -errno; no exceptions on the data path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace icilk::net {
+
+/// Creates a nonblocking TCP listener on 127.0.0.1:`port` (0 = ephemeral).
+/// SO_REUSEADDR set; backlog 1024. Returns fd or -errno.
+int listen_tcp(std::uint16_t port);
+
+/// Port a listener (or any bound socket) is on; -errno on failure.
+int local_port(int fd);
+
+/// Nonblocking connect to 127.0.0.1:`port`. Returns a connecting fd (check
+/// writability / SO_ERROR for completion) or -errno.
+int connect_tcp_nonblocking(std::uint16_t port);
+
+/// Blocking connect to 127.0.0.1:`port`, then switch the fd nonblocking.
+/// Convenience for clients/tests. Returns fd or -errno.
+int connect_tcp(std::uint16_t port);
+
+/// Sets O_NONBLOCK. Returns 0 or -errno.
+int set_nonblocking(int fd);
+
+/// Disables Nagle (latency-sensitive request/response traffic).
+int set_nodelay(int fd);
+
+/// Reads SO_ERROR (for nonblocking connect completion). 0 = connected.
+int socket_error(int fd);
+
+}  // namespace icilk::net

@@ -1,0 +1,101 @@
+// Tests for the LZSS codec (email server's compress/print workload).
+#include "apps/email/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "concurrent/rng.hpp"
+
+namespace icilk::apps {
+namespace {
+
+std::string roundtrip(const std::string& in) {
+  const std::string packed = lz_compress(in);
+  std::string out;
+  EXPECT_TRUE(lz_decompress(packed, out));
+  return out;
+}
+
+TEST(Codec, EmptyInput) { EXPECT_EQ(roundtrip(""), ""); }
+
+TEST(Codec, ShortLiteralOnly) { EXPECT_EQ(roundtrip("ab"), "ab"); }
+
+TEST(Codec, SimpleText) {
+  const std::string s = "hello hello hello world world!";
+  EXPECT_EQ(roundtrip(s), s);
+}
+
+TEST(Codec, HighlyRepetitiveCompressesWell) {
+  const std::string s(10000, 'z');
+  const std::string packed = lz_compress(s);
+  EXPECT_LT(packed.size(), s.size() / 4);
+  std::string out;
+  ASSERT_TRUE(lz_decompress(packed, out));
+  EXPECT_EQ(out, s);
+}
+
+TEST(Codec, OverlappingMatchSelfCopy) {
+  // "abcabcabc..." forces matches whose source overlaps the destination.
+  std::string s;
+  for (int i = 0; i < 1000; ++i) s += "abc";
+  EXPECT_EQ(roundtrip(s), s);
+}
+
+TEST(Codec, RandomBinaryDataSurvives) {
+  Xoshiro256 rng(99);
+  std::string s;
+  for (int i = 0; i < 20000; ++i) {
+    s.push_back(static_cast<char>(rng.next() & 0xFF));
+  }
+  // Incompressible data must still round-trip (expansion is fine).
+  EXPECT_EQ(roundtrip(s), s);
+}
+
+TEST(Codec, MixedStructuredData) {
+  Xoshiro256 rng(5);
+  std::string s;
+  const std::string words[] = {"alpha ", "beta ", "gamma ", "delta "};
+  for (int i = 0; i < 5000; ++i) s += words[rng.bounded(4)];
+  const std::string packed = lz_compress(s);
+  EXPECT_LT(packed.size(), s.size());  // prose must compress
+  std::string out;
+  ASSERT_TRUE(lz_decompress(packed, out));
+  EXPECT_EQ(out, s);
+}
+
+TEST(Codec, AllInputSizesZeroToN) {
+  // Sweep sizes across flag-byte and window boundaries.
+  Xoshiro256 rng(17);
+  std::string base;
+  for (int i = 0; i < 9000; ++i) {
+    base.push_back(static_cast<char>('a' + rng.bounded(6)));
+  }
+  for (std::size_t len : {0u, 1u, 2u, 3u, 7u, 8u, 9u, 255u, 4095u, 4096u,
+                          4097u, 8192u, 9000u}) {
+    const std::string s = base.substr(0, len);
+    EXPECT_EQ(roundtrip(s), s) << "len=" << len;
+  }
+}
+
+TEST(Codec, CorruptInputRejected) {
+  std::string out;
+  EXPECT_FALSE(lz_decompress("", out));
+  EXPECT_FALSE(lz_decompress("abc", out));            // truncated header
+  // Claimed length 100 with no body.
+  std::string bogus = {'\x64', 0, 0, 0};
+  EXPECT_FALSE(lz_decompress(bogus, out));
+  // Match referring before the start of output.
+  std::string evil = {'\x10', 0, 0, 0, '\x01', '\x00', '\x00'};
+  EXPECT_FALSE(lz_decompress(evil, out));
+}
+
+TEST(Codec, TruncatedStreamRejected) {
+  const std::string s(1000, 'q');
+  const std::string packed = lz_compress(s);
+  std::string out;
+  EXPECT_FALSE(lz_decompress(packed.substr(0, packed.size() / 2), out));
+}
+
+}  // namespace
+}  // namespace icilk::apps

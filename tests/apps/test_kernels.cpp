@@ -1,0 +1,111 @@
+// Correctness tests for the job server's parallel kernels: each parallel
+// result must equal an independently-computed serial reference.
+#include "apps/job/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/prompt_scheduler.hpp"
+#include "core/runtime.hpp"
+
+namespace icilk::apps {
+namespace {
+
+struct KernelTest : ::testing::Test {
+  void SetUp() override {
+    RuntimeConfig cfg;
+    cfg.num_workers = 4;
+    rt = std::make_unique<Runtime>(cfg, std::make_unique<PromptScheduler>());
+  }
+  template <typename F>
+  auto in_task(F&& f) {
+    return rt->submit(0, std::forward<F>(f)).get();
+  }
+  std::unique_ptr<Runtime> rt;
+};
+
+TEST_F(KernelTest, MmMatchesSerialReference) {
+  const int n = 24;
+  const auto a = gen_matrix(n, 1), b = gen_matrix(n, 2);
+  // Serial reference.
+  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) {
+        c[i * n + j] += a[i * n + k] * b[k * n + j];
+      }
+    }
+  }
+  double ref = 0;
+  for (const double v : c) ref += v;
+  const double got = in_task([&] { return kernel_mm(a, b, n); });
+  EXPECT_NEAR(got, ref, 1e-9 * std::abs(ref) + 1e-9);
+}
+
+TEST_F(KernelTest, FibKnownValues) {
+  EXPECT_EQ(in_task([] { return kernel_fib(0); }), 0u);
+  EXPECT_EQ(in_task([] { return kernel_fib(1); }), 1u);
+  EXPECT_EQ(in_task([] { return kernel_fib(10); }), 55u);
+  EXPECT_EQ(in_task([] { return kernel_fib(20); }), 6765u);
+  EXPECT_EQ(in_task([] { return kernel_fib(25); }), 75025u);
+}
+
+TEST_F(KernelTest, SortMatchesStdSort) {
+  for (const int n : {0, 1, 5, 2048, 2049, 50000}) {
+    auto data = gen_ints(n, 3);
+    const std::uint64_t got = in_task([&] { return kernel_sort(data); });
+    std::sort(data.begin(), data.end());
+    std::uint64_t ref = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      ref = ref * 31 + data[i] + i;
+    }
+    EXPECT_EQ(got, ref) << "n=" << n;
+  }
+}
+
+int sw_serial(const std::vector<char>& a, const std::vector<char>& b) {
+  const int n = static_cast<int>(a.size()), m = static_cast<int>(b.size());
+  std::vector<int> dp(static_cast<std::size_t>(n + 1) * (m + 1), 0);
+  int best = 0;
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      const int sub = (a[i - 1] == b[j - 1]) ? 2 : -1;
+      int v = dp[(i - 1) * (m + 1) + (j - 1)] + sub;
+      v = std::max(v, dp[(i - 1) * (m + 1) + j] - 1);
+      v = std::max(v, dp[i * (m + 1) + (j - 1)] - 1);
+      v = std::max(v, 0);
+      dp[i * (m + 1) + j] = v;
+      best = std::max(best, v);
+    }
+  }
+  return best;
+}
+
+TEST_F(KernelTest, SwMatchesSerialReference) {
+  for (const int n : {16, 64, 100}) {
+    const auto a = gen_dna(n, 11), b = gen_dna(n, 12);
+    const int ref = sw_serial(a, b);
+    for (const int block : {8, 32, 200 /* > n: single block */}) {
+      const int got = in_task([&] { return kernel_sw(a, b, block); });
+      EXPECT_EQ(got, ref) << "n=" << n << " block=" << block;
+    }
+  }
+}
+
+TEST_F(KernelTest, SwIdenticalSequencesScoreMax) {
+  const auto a = gen_dna(50, 21);
+  const int got = in_task([&] { return kernel_sw(a, a, 16); });
+  EXPECT_EQ(got, 100);  // 50 matches x score 2
+}
+
+TEST_F(KernelTest, GeneratorsDeterministic) {
+  EXPECT_EQ(gen_ints(100, 5), gen_ints(100, 5));
+  EXPECT_NE(gen_ints(100, 5), gen_ints(100, 6));
+  EXPECT_EQ(gen_dna(64, 9), gen_dna(64, 9));
+  EXPECT_EQ(gen_matrix(8, 4), gen_matrix(8, 4));
+}
+
+}  // namespace
+}  // namespace icilk::apps

@@ -1,0 +1,101 @@
+// Lifecycle and background-task tests for the I-Cilk minicached frontend:
+// graceful stop with live connections, TTL + crawler integration, and
+// connection accounting.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "apps/memcached/icilk_server.hpp"
+#include "core/prompt_scheduler.hpp"
+#include "net/socket.hpp"
+
+namespace icilk::apps {
+namespace {
+
+using namespace std::chrono_literals;
+
+ICilkMcServer::Config base_cfg() {
+  ICilkMcServer::Config cfg;
+  cfg.rt.num_workers = 2;
+  cfg.rt.num_io_threads = 2;
+  cfg.rt.num_levels = 2;
+  return cfg;
+}
+
+TEST(McLifecycle, StopWithLiveIdleConnections) {
+  auto server = std::make_unique<ICilkMcServer>(
+      base_cfg(), std::make_unique<PromptScheduler>());
+  // Three clients connect and then go silent (blocked server-side reads).
+  int fds[3];
+  for (int& fd : fds) {
+    fd = net::connect_tcp(static_cast<std::uint16_t>(server->port()));
+    ASSERT_GE(fd, 0);
+  }
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (server->active_connections() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(server->active_connections(), 3);
+  // stop() must shut the blocked connection routines down and return.
+  server->stop();
+  EXPECT_EQ(server->active_connections(), 0);
+  for (const int fd : fds) ::close(fd);
+}
+
+TEST(McLifecycle, StopIsIdempotentAndDestructorSafe) {
+  auto server = std::make_unique<ICilkMcServer>(
+      base_cfg(), std::make_unique<PromptScheduler>());
+  server->stop();
+  server->stop();
+  server.reset();  // destructor after explicit stop
+}
+
+TEST(McLifecycle, CrawlerReclaimsExpiredInBackground) {
+  auto cfg = base_cfg();
+  cfg.crawl_interval_ms = 30;
+  ICilkMcServer server(cfg, std::make_unique<PromptScheduler>());
+  for (int i = 0; i < 50; ++i) {
+    server.store().set("ephemeral" + std::to_string(i), "v", 0,
+                       kv::ttl_from_seconds(0.02));
+  }
+  server.store().set("durable", "v", 0, 0);
+  EXPECT_EQ(server.store().item_count(), 51u);
+  // The background crawler (a low-priority task on a timer future) must
+  // reclaim the expired items without any client touching them. The
+  // crawler scans 64 buckets per pass, so give it a few periods.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (server.store().item_count() > 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(server.store().item_count(), 1u);
+  EXPECT_TRUE(server.store().get("durable").has_value());
+  server.stop();
+}
+
+TEST(McLifecycle, ConnectionCountTracksCloses) {
+  ICilkMcServer server(base_cfg(), std::make_unique<PromptScheduler>());
+  const int fd = net::connect_tcp(static_cast<std::uint16_t>(server.port()));
+  ASSERT_GE(fd, 0);
+  auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (server.active_connections() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(server.active_connections(), 1);
+  ::close(fd);
+  deadline = std::chrono::steady_clock::now() + 2s;
+  while (server.active_connections() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(server.active_connections(), 0);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace icilk::apps

@@ -1,0 +1,99 @@
+// Unit + property tests for the priority bitfield.
+#include "concurrent/bitfield.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace icilk {
+namespace {
+
+TEST(Bitfield, StartsEmpty) {
+  PriorityBitfield b;
+  EXPECT_EQ(b.load(), 0u);
+  EXPECT_EQ(b.highest(), PriorityBitfield::kNoLevel);
+  EXPECT_FALSE(b.has_higher_than(0));
+}
+
+TEST(Bitfield, SetClearTest) {
+  PriorityBitfield b;
+  EXPECT_EQ(b.set(5), 0u);  // previous value was empty
+  EXPECT_TRUE(b.test(5));
+  EXPECT_NE(b.set(7), 0u);  // no longer the waking transition
+  EXPECT_EQ(b.highest(), 7);
+  b.clear(7);
+  EXPECT_EQ(b.highest(), 5);
+  b.clear(5);
+  EXPECT_EQ(b.highest(), PriorityBitfield::kNoLevel);
+}
+
+TEST(Bitfield, HighestOfEveryBit) {
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(PriorityBitfield::highest_of(std::uint64_t{1} << i), i);
+  }
+  EXPECT_EQ(PriorityBitfield::highest_of(0), PriorityBitfield::kNoLevel);
+  // Highest wins over lower bits.
+  EXPECT_EQ(PriorityBitfield::highest_of((1ull << 63) | 0xFF), 63);
+}
+
+TEST(Bitfield, HasHigherThan) {
+  PriorityBitfield b;
+  b.set(10);
+  EXPECT_TRUE(b.has_higher_than(3));
+  EXPECT_TRUE(b.has_higher_than(9));
+  EXPECT_FALSE(b.has_higher_than(10));  // own level does not count
+  EXPECT_FALSE(b.has_higher_than(11));
+  b.set(63);
+  EXPECT_TRUE(b.has_higher_than(62));
+  EXPECT_FALSE(b.has_higher_than(63));
+}
+
+TEST(Bitfield, BoundaryLevels) {
+  PriorityBitfield b;
+  b.set(0);
+  EXPECT_EQ(b.highest(), 0);
+  b.set(63);
+  EXPECT_EQ(b.highest(), 63);
+  b.clear(63);
+  EXPECT_EQ(b.highest(), 0);
+}
+
+// Property: with concurrent set/clear on distinct levels, the final state
+// equals each level's last operation — bits never bleed across levels.
+TEST(Bitfield, ConcurrentDistinctLevelsIndependent) {
+  PriorityBitfield b;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&b, t] {
+      for (int i = 0; i < 10000; ++i) {
+        b.set(t);
+        b.clear(t);
+      }
+      b.set(t);  // final op per level: set
+    });
+  }
+  for (auto& t : ts) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_TRUE(b.test(t));
+  for (int t = kThreads; t < 64; ++t) EXPECT_FALSE(b.test(t));
+}
+
+// The 0 -> non-zero transition is reported exactly once per "epoch" of
+// emptiness — the wakeup contract the sleep protocol relies on.
+TEST(Bitfield, ZeroTransitionReportedOnce) {
+  PriorityBitfield b;
+  std::atomic<int> zero_transitions{0};
+  constexpr int kThreads = 4;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      if (b.set(t) == 0) zero_transitions.fetch_add(1);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(zero_transitions.load(), 1);
+}
+
+}  // namespace
+}  // namespace icilk

@@ -1,0 +1,140 @@
+// Tests for epoch-based reclamation.
+#include "concurrent/epoch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace icilk {
+namespace {
+
+std::atomic<int> g_freed{0};
+
+struct Node {
+  explicit Node(int v) : value(v) {}
+  ~Node() { g_freed.fetch_add(1); }
+  int value;
+};
+
+void retire_node(EpochManager& m, Node* n) {
+  m.retire(n, [](void* p) { delete static_cast<Node*>(p); });
+}
+
+// Each test uses its own manager on dedicated threads so thread slots and
+// garbage never leak across tests.
+
+TEST(Epoch, RetireEventuallyFrees) {
+  g_freed.store(0);
+  std::thread([&] {
+    EpochManager m;
+    for (int i = 0; i < 10; ++i) retire_node(m, new Node(i));
+    // No pins outstanding: a few collect rounds advance the epoch twice
+    // and free everything.
+    for (int i = 0; i < 4; ++i) m.collect();
+    EXPECT_EQ(g_freed.load(), 10);
+  }).join();
+}
+
+TEST(Epoch, PinBlocksReclamation) {
+  g_freed.store(0);
+  EpochManager m;
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+
+  std::thread reader([&] {
+    m.pin();
+    pinned.store(true);
+    while (!release.load()) std::this_thread::yield();
+    m.unpin();
+  });
+  std::thread writer([&] {
+    while (!pinned.load()) std::this_thread::yield();
+    retire_node(m, new Node(1));
+    for (int i = 0; i < 8; ++i) m.collect();
+    // The reader is pinned at (or before) the retirement epoch; the node
+    // must not be freed no matter how often we collect.
+    EXPECT_EQ(g_freed.load(), 0);
+    release.store(true);
+    reader.join();
+    for (int i = 0; i < 8; ++i) m.collect();
+    EXPECT_EQ(g_freed.load(), 1);
+  });
+  writer.join();
+}
+
+TEST(Epoch, NestedPinsCounted) {
+  std::thread([] {
+    EpochManager m;
+    m.pin();
+    m.pin();
+    m.unpin();
+    // Still pinned: epoch cannot advance past us; a retire stays pending.
+    g_freed.store(0);
+    retire_node(m, new Node(1));
+    for (int i = 0; i < 8; ++i) m.collect();
+    EXPECT_EQ(g_freed.load(), 0);
+    m.unpin();
+    for (int i = 0; i < 8; ++i) m.collect();
+    EXPECT_EQ(g_freed.load(), 1);
+  }).join();
+}
+
+TEST(Epoch, GlobalEpochAdvances) {
+  std::thread([] {
+    EpochManager m;
+    const std::uint64_t e0 = m.global_epoch_for_test();
+    for (int i = 0; i < 4; ++i) m.collect();
+    EXPECT_GT(m.global_epoch_for_test(), e0);
+  }).join();
+}
+
+// Stress: readers pin/unpin around reads of a shared pointer that writers
+// keep swapping and retiring. ASan (or a crash) would flag use-after-free.
+TEST(Epoch, SwapAndRetireStress) {
+  g_freed.store(0);
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 4;
+  constexpr int kSwaps = 4000;
+  {
+    EpochManager m;
+    std::atomic<Node*> current{new Node(0)};
+    std::atomic<bool> done{false};
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < kReaders; ++r) {
+      readers.emplace_back([&] {
+        while (!done.load(std::memory_order_acquire)) {
+          EpochGuard g(m);
+          Node* n = current.load(std::memory_order_acquire);
+          // Touch the payload; must be alive under the pin.
+          volatile int v = n->value;
+          (void)v;
+        }
+      });
+    }
+    std::vector<std::thread> writers;
+    std::atomic<int> swaps_left{kSwaps};
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&] {
+        while (swaps_left.fetch_sub(1) > 0) {
+          Node* fresh = new Node(1);
+          Node* old = current.exchange(fresh, std::memory_order_acq_rel);
+          retire_node(m, old);
+        }
+      });
+    }
+    for (auto& t : writers) t.join();
+    done.store(true, std::memory_order_release);
+    for (auto& t : readers) t.join();
+    delete current.load();
+    m.drain_all_for_test();
+  }
+  // Everything was freed exactly once: kSwaps retired via exchanges plus
+  // the final node deleted directly.
+  EXPECT_EQ(g_freed.load(), kSwaps + 1);
+}
+
+}  // namespace
+}  // namespace icilk

@@ -1,0 +1,117 @@
+// Unit tests for the intrusive reference counter.
+#include "concurrent/ref.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace icilk {
+namespace {
+
+std::atomic<int> g_live{0};
+
+struct Tracked : RefCounted {
+  Tracked() { g_live.fetch_add(1); }
+  ~Tracked() { g_live.fetch_sub(1); }
+  int payload = 42;
+};
+
+struct Base : RefCounted {
+  virtual ~Base() { g_live.fetch_sub(1); }
+  Base() { g_live.fetch_add(1); }
+};
+struct Derived : Base {
+  int extra = 7;
+};
+
+TEST(Ref, MakeAndDestroy) {
+  {
+    auto r = Ref<Tracked>::make();
+    EXPECT_EQ(g_live.load(), 1);
+    EXPECT_EQ(r->payload, 42);
+    EXPECT_EQ(r->ref_count_for_test(), 1u);
+  }
+  EXPECT_EQ(g_live.load(), 0);
+}
+
+TEST(Ref, CopyIncrements) {
+  auto a = Ref<Tracked>::make();
+  {
+    Ref<Tracked> b = a;
+    EXPECT_EQ(a->ref_count_for_test(), 2u);
+    Ref<Tracked> c(b);
+    EXPECT_EQ(a->ref_count_for_test(), 3u);
+  }
+  EXPECT_EQ(a->ref_count_for_test(), 1u);
+  EXPECT_EQ(g_live.load(), 1);
+  a.reset();
+  EXPECT_EQ(g_live.load(), 0);
+}
+
+TEST(Ref, MoveDoesNotIncrement) {
+  auto a = Ref<Tracked>::make();
+  Ref<Tracked> b = std::move(a);
+  EXPECT_FALSE(a);
+  EXPECT_EQ(b->ref_count_for_test(), 1u);
+}
+
+TEST(Ref, ReleaseAdoptRoundTrip) {
+  auto a = Ref<Tracked>::make();
+  Tracked* raw = a.release();
+  EXPECT_FALSE(a);
+  EXPECT_EQ(g_live.load(), 1);
+  auto b = Ref<Tracked>::adopt(raw);
+  EXPECT_EQ(b->ref_count_for_test(), 1u);
+  b.reset();
+  EXPECT_EQ(g_live.load(), 0);
+}
+
+TEST(Ref, ShareIncrements) {
+  auto a = Ref<Tracked>::make();
+  auto b = Ref<Tracked>::share(a.get());
+  EXPECT_EQ(a->ref_count_for_test(), 2u);
+}
+
+TEST(Ref, SelfAssignmentSafe) {
+  auto a = Ref<Tracked>::make();
+  a = a;  // NOLINT
+  EXPECT_TRUE(a);
+  EXPECT_EQ(a->ref_count_for_test(), 1u);
+}
+
+TEST(Ref, DerivedToBaseConversion) {
+  auto d = Ref<Derived>::make();
+  Ref<Base> b = d;
+  EXPECT_EQ(b->ref_count_for_test(), 2u);
+  Ref<Base> m = std::move(d);
+  EXPECT_FALSE(d);
+  b.reset();
+  m.reset();
+  EXPECT_EQ(g_live.load(), 0);
+}
+
+TEST(Ref, ConcurrentCopyDropStress) {
+  auto shared = Ref<Tracked>::make();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&shared] {
+      for (int i = 0; i < kIters; ++i) {
+        Ref<Tracked> local = shared;
+        Ref<Tracked> moved = std::move(local);
+        (void)moved->payload;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(shared->ref_count_for_test(), 1u);
+  shared.reset();
+  EXPECT_EQ(g_live.load(), 0);
+}
+
+}  // namespace
+}  // namespace icilk

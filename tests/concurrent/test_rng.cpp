@@ -1,0 +1,64 @@
+// Tests for the xoshiro256** generator.
+#include "concurrent/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace icilk {
+namespace {
+
+TEST(Rng, DeterministicPerSeedAndStream) {
+  Xoshiro256 a(123, 0), b(123, 0), c(123, 1);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next();
+    EXPECT_EQ(x, b.next());      // same (seed, stream) agrees
+    EXPECT_NE(x, c.next());      // different stream diverges (w.h.p.)
+  }
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 r(42);
+  for (std::uint32_t bound : {1u, 2u, 3u, 7u, 10u, 1000u}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(r.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BoundedCoversAllValues) {
+  Xoshiro256 r(7);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 r(9);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  // Mean of U(0,1) is 0.5; with n=1e5 the sample mean is within ~0.005
+  // w.h.p. Use a loose bound to keep the test deterministic in practice.
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BoundedRoughlyUniform) {
+  Xoshiro256 r(11);
+  constexpr int kBuckets = 10;
+  constexpr int kN = 100000;
+  std::vector<int> hist(kBuckets, 0);
+  for (int i = 0; i < kN; ++i) hist[r.bounded(kBuckets)]++;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(hist[b], kN / kBuckets, kN / kBuckets * 0.1) << "bucket " << b;
+  }
+}
+
+}  // namespace
+}  // namespace icilk

@@ -1,0 +1,58 @@
+// Unit tests for the TTAS spinlock.
+#include "concurrent/spinlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace icilk {
+namespace {
+
+TEST(SpinLock, BasicLockUnlock) {
+  SpinLock l;
+  l.lock();
+  l.unlock();
+  l.lock();
+  l.unlock();
+}
+
+TEST(SpinLock, TryLock) {
+  SpinLock l;
+  EXPECT_TRUE(l.try_lock());
+  EXPECT_FALSE(l.try_lock());
+  l.unlock();
+  EXPECT_TRUE(l.try_lock());
+  l.unlock();
+}
+
+TEST(SpinLock, GuardReleases) {
+  SpinLock l;
+  {
+    LockGuard<SpinLock> g(l);
+    EXPECT_FALSE(l.try_lock());
+  }
+  EXPECT_TRUE(l.try_lock());
+  l.unlock();
+}
+
+TEST(SpinLock, MutualExclusionCounter) {
+  SpinLock l;
+  long counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        LockGuard<SpinLock> g(l);
+        ++counter;  // data race iff the lock is broken
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace icilk

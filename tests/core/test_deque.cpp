@@ -1,0 +1,140 @@
+// Unit tests for the Deque state machine, census gauge, and flag protocol.
+#include "core/deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace icilk {
+namespace {
+
+struct DequeTest : ::testing::Test {
+  std::atomic<std::int64_t> census{0};
+  // Dummy fibers: the deque never dereferences entries, so headerless
+  // sentinels are fine for structural tests.
+  TaskFiber* fib(std::uintptr_t i) { return reinterpret_cast<TaskFiber*>(i); }
+};
+
+TEST_F(DequeTest, PushPopBottomLifo) {
+  auto d = Ref<Deque>::adopt(new Deque(3, &census));
+  EXPECT_EQ(d->priority(), 3);
+  EXPECT_EQ(d->state(), Deque::State::Active);
+  d->push_bottom(fib(1));
+  d->push_bottom(fib(2));
+  EXPECT_EQ(d->entry_count(), 2u);
+  EXPECT_EQ(d->pop_bottom(), fib(2));
+  EXPECT_EQ(d->pop_bottom(), fib(1));
+  EXPECT_EQ(d->pop_bottom(), nullptr);
+}
+
+TEST_F(DequeTest, StealTakesOldest) {
+  auto d = Ref<Deque>::adopt(new Deque(0, &census));
+  d->push_bottom(fib(1));
+  d->push_bottom(fib(2));
+  d->push_bottom(fib(3));
+  EXPECT_EQ(d->steal_top(), fib(1));  // oldest ancestor continuation
+  EXPECT_EQ(d->steal_top(), fib(2));
+  EXPECT_EQ(d->pop_bottom(), fib(3));
+  EXPECT_EQ(d->steal_top(), nullptr);
+}
+
+TEST_F(DequeTest, SuspendResumeMugCycle) {
+  auto d = Ref<Deque>::adopt(new Deque(1, &census));
+  d->push_bottom(fib(9));
+  d->suspend(fib(7));
+  EXPECT_EQ(d->state(), Deque::State::Suspended);
+  EXPECT_TRUE(d->stealable_or_resumable());  // entries remain stealable
+
+  Continuation c;
+  EXPECT_FALSE(d->try_mug(c));  // suspended, not resumable
+
+  d->make_resumable();
+  EXPECT_EQ(d->state(), Deque::State::Resumable);
+  ASSERT_TRUE(d->try_mug(c));
+  EXPECT_EQ(c.resume, fib(7));
+  EXPECT_EQ(d->state(), Deque::State::Active);
+  EXPECT_TRUE(d->has_entries());  // entries survive the mug
+  EXPECT_FALSE(d->try_mug(c));    // cannot mug an active deque
+}
+
+TEST_F(DequeTest, AbandonIsImmediatelyResumable) {
+  auto d = Ref<Deque>::adopt(new Deque(2, &census));
+  d->abandon(fib(5));
+  EXPECT_EQ(d->state(), Deque::State::Resumable);
+  Continuation c;
+  ASSERT_TRUE(d->try_mug(c));
+  EXPECT_EQ(c.resume, fib(5));
+}
+
+TEST_F(DequeTest, KillExhausted) {
+  auto d = Ref<Deque>::adopt(new Deque(0, &census));
+  EXPECT_TRUE(d->kill_if_exhausted());
+  EXPECT_EQ(d->state(), Deque::State::Dead);
+  EXPECT_EQ(d->steal_top(), nullptr);  // dead deques yield nothing
+}
+
+TEST_F(DequeTest, KillRefusesWithEntries) {
+  auto d = Ref<Deque>::adopt(new Deque(0, &census));
+  d->push_bottom(fib(1));
+  EXPECT_FALSE(d->kill_if_exhausted());
+  EXPECT_EQ(d->state(), Deque::State::Active);
+}
+
+TEST_F(DequeTest, CensusCountsNonEmptyDeques) {
+  EXPECT_EQ(census.load(), 0);
+  auto d = Ref<Deque>::adopt(new Deque(0, &census));
+  EXPECT_EQ(census.load(), 0);  // active + empty = not counted
+  d->push_bottom(fib(1));
+  EXPECT_EQ(census.load(), 1);  // gained stealable work
+  d->pop_bottom();
+  EXPECT_EQ(census.load(), 0);
+  d->suspend(fib(2));
+  EXPECT_EQ(census.load(), 0);  // suspended + empty = not counted
+  d->make_resumable();
+  EXPECT_EQ(census.load(), 1);  // resumable counts as work
+  Continuation c;
+  d->try_mug(c);
+  EXPECT_EQ(census.load(), 0);
+  d.reset();
+  EXPECT_EQ(census.load(), 0);
+}
+
+TEST_F(DequeTest, CensusOnDestructionOfCountedDeque) {
+  {
+    auto d = Ref<Deque>::adopt(new Deque(0, &census));
+    d->push_bottom(fib(1));
+    EXPECT_EQ(census.load(), 1);
+  }
+  EXPECT_EQ(census.load(), 0);  // destructor uncounts
+}
+
+TEST_F(DequeTest, EnqueuedFlagCasSemantics) {
+  auto d = Ref<Deque>::adopt(new Deque(0, &census));
+  EXPECT_FALSE(d->enqueued());
+  EXPECT_TRUE(d->mark_enqueued());
+  EXPECT_FALSE(d->mark_enqueued());  // second marker loses
+  EXPECT_TRUE(d->enqueued());
+  d->clear_enqueued();
+  EXPECT_TRUE(d->mark_enqueued());
+}
+
+TEST_F(DequeTest, NewResumableClosureDeque) {
+  bool ran = false;
+  auto c = Continuation::of_closure([&ran] { ran = true; }, nullptr, nullptr,
+                                    /*priority=*/4);
+  auto d = Deque::new_resumable(std::move(c), &census);
+  EXPECT_EQ(d->priority(), 4);
+  EXPECT_EQ(d->state(), Deque::State::Resumable);
+  EXPECT_EQ(census.load(), 1);
+  Continuation out;
+  ASSERT_TRUE(d->try_mug(out));
+  EXPECT_EQ(out.resume, nullptr);
+  ASSERT_TRUE(bool(out.start));
+  out.start();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(out.priority, 4);
+  EXPECT_EQ(census.load(), 0);
+}
+
+}  // namespace
+}  // namespace icilk

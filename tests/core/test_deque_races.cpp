@@ -1,0 +1,161 @@
+// Direct concurrency tests on one Deque: owner push/pop racing thieves'
+// steal_top, suspension racing make_resumable, and competing muggers.
+// These target the invariants the scheduler relies on:
+//   * an entry is obtained by exactly one side (owner pop XOR thief steal);
+//   * try_mug succeeds exactly once per resumable period;
+//   * the census gauge returns to zero at quiescence.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/deque.hpp"
+
+namespace icilk {
+namespace {
+
+TaskFiber* fib(std::uintptr_t i) { return reinterpret_cast<TaskFiber*>(i); }
+std::uintptr_t id_of(TaskFiber* f) { return reinterpret_cast<std::uintptr_t>(f); }
+
+TEST(DequeRaces, OwnerPopVsThievesExactlyOnce) {
+  constexpr int kRounds = 200;
+  constexpr int kEntries = 64;
+  constexpr int kThieves = 3;
+  std::atomic<std::int64_t> census{0};
+  for (int round = 0; round < kRounds; ++round) {
+    auto d = Ref<Deque>::adopt(new Deque(0, &census));
+    for (std::uintptr_t i = 1; i <= kEntries; ++i) d->push_bottom(fib(i));
+
+    std::atomic<bool> go{false};
+    std::vector<std::uintptr_t> got_by_owner;
+    std::vector<std::vector<std::uintptr_t>> got_by_thief(kThieves);
+
+    std::vector<std::thread> thieves;
+    for (int t = 0; t < kThieves; ++t) {
+      thieves.emplace_back([&, t] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        while (TaskFiber* f = d->steal_top()) {
+          got_by_thief[static_cast<std::size_t>(t)].push_back(id_of(f));
+        }
+      });
+    }
+    std::thread owner([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      while (TaskFiber* f = d->pop_bottom()) {
+        got_by_owner.push_back(id_of(f));
+      }
+    });
+    go.store(true, std::memory_order_release);
+    owner.join();
+    for (auto& t : thieves) t.join();
+
+    std::multiset<std::uintptr_t> all(got_by_owner.begin(),
+                                      got_by_owner.end());
+    for (const auto& v : got_by_thief) all.insert(v.begin(), v.end());
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(kEntries));
+    for (std::uintptr_t i = 1; i <= kEntries; ++i) {
+      ASSERT_EQ(all.count(i), 1u) << "entry " << i << " round " << round;
+    }
+    ASSERT_EQ(d->entry_count(), 0u);
+  }
+  EXPECT_EQ(census.load(), 0);
+}
+
+TEST(DequeRaces, SingleMuggerWinsPerResumablePeriod) {
+  constexpr int kRounds = 300;
+  constexpr int kMuggers = 4;
+  std::atomic<std::int64_t> census{0};
+  for (int round = 0; round < kRounds; ++round) {
+    auto d = Ref<Deque>::adopt(new Deque(1, &census));
+    d->suspend(fib(7));
+    d->make_resumable();
+
+    std::atomic<bool> go{false};
+    std::atomic<int> wins{0};
+    std::vector<std::thread> muggers;
+    for (int m = 0; m < kMuggers; ++m) {
+      muggers.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        Continuation c;
+        if (d->try_mug(c)) {
+          EXPECT_EQ(c.resume, fib(7));
+          wins.fetch_add(1);
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& t : muggers) t.join();
+    ASSERT_EQ(wins.load(), 1) << "round " << round;
+    ASSERT_EQ(d->state(), Deque::State::Active);
+  }
+  EXPECT_EQ(census.load(), 0);
+}
+
+TEST(DequeRaces, StealsFromSuspendedDequeWhileCompletionRaces) {
+  // A suspended stealable deque: thieves drain the top while another
+  // thread flips it resumable and a mugger takes the bottom. All entries
+  // plus the bottom continuation must be claimed exactly once.
+  constexpr int kRounds = 200;
+  std::atomic<std::int64_t> census{0};
+  for (int round = 0; round < kRounds; ++round) {
+    auto d = Ref<Deque>::adopt(new Deque(2, &census));
+    for (std::uintptr_t i = 1; i <= 8; ++i) d->push_bottom(fib(i));
+    d->suspend(fib(99));
+
+    std::atomic<bool> go{false};
+    std::atomic<int> stolen{0};
+    std::atomic<int> mugged{0};
+    std::thread thief1([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      while (d->steal_top() != nullptr) stolen.fetch_add(1);
+    });
+    std::thread completer([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      d->make_resumable();
+      Continuation c;
+      if (d->try_mug(c)) {
+        EXPECT_EQ(c.resume, fib(99));
+        mugged.fetch_add(1);
+      }
+    });
+    go.store(true, std::memory_order_release);
+    thief1.join();
+    completer.join();
+    // Entries not stolen before the mug stay stealable afterwards; drain.
+    while (d->steal_top() != nullptr) stolen.fetch_add(1);
+    ASSERT_EQ(stolen.load(), 8);
+    ASSERT_EQ(mugged.load(), 1);
+  }
+  EXPECT_EQ(census.load(), 0);
+}
+
+TEST(DequeRaces, EnqueuedFlagSingleWinnerUnderContention) {
+  std::atomic<std::int64_t> census{0};
+  auto d = Ref<Deque>::adopt(new Deque(0, &census));
+  for (int round = 0; round < 500; ++round) {
+    std::atomic<int> winners{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> ts;
+    for (int i = 0; i < 4; ++i) {
+      ts.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        if (d->mark_enqueued()) winners.fetch_add(1);
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& t : ts) t.join();
+    ASSERT_EQ(winners.load(), 1) << "round " << round;
+    d->clear_enqueued();
+  }
+}
+
+}  // namespace
+}  // namespace icilk

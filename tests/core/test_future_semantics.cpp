@@ -1,0 +1,153 @@
+// Focused tests for future semantics: sharing, repeated gets, external
+// completion (the promise pattern I/O futures use), readiness, exceptions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/prompt_scheduler.hpp"
+#include "core/runtime.hpp"
+
+namespace icilk {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::unique_ptr<Runtime> make_rt(int workers = 3) {
+  RuntimeConfig cfg;
+  cfg.num_workers = workers;
+  cfg.num_levels = 4;
+  return std::make_unique<Runtime>(cfg, std::make_unique<PromptScheduler>());
+}
+
+TEST(FutureSemantics, MultipleGettersAllSeeValue) {
+  auto rt = make_rt();
+  const int total = rt->submit(0, [] {
+                       auto f = fut_create([] { return 21; });
+                       int a = 0, b = 0, c = 0;
+                       spawn([&a, f]() mutable { a = f.get(); });
+                       spawn([&b, f]() mutable { b = f.get(); });
+                       c = f.get();
+                       icilk::sync();
+                       return a + b + c;
+                     }).get();
+  EXPECT_EQ(total, 63);
+}
+
+TEST(FutureSemantics, RepeatedGetOnSameHandle) {
+  auto rt = make_rt();
+  rt->submit(0, [] {
+      auto f = fut_create([] { return std::string("value"); });
+      EXPECT_EQ(f.get(), "value");
+      EXPECT_EQ(f.get(), "value");  // value survives the first get
+      EXPECT_TRUE(f.ready());
+    }).get();
+}
+
+TEST(FutureSemantics, GetAfterReadyIsFastPath) {
+  auto rt = make_rt();
+  rt->submit(0, [&rt] {
+      auto f = fut_create([] { return 5; });
+      while (!f.ready()) {
+        // Burn a little time; the routine runs on another worker.
+        spawn([] {});
+        icilk::sync();
+      }
+      const auto before = rt->stats_snapshot().gets_suspended;
+      EXPECT_EQ(f.get(), 5);  // must not suspend
+      EXPECT_EQ(rt->stats_snapshot().gets_suspended, before);
+    }).get();
+}
+
+TEST(FutureSemantics, PromiseStyleExternalCompletion) {
+  auto rt = make_rt(1);
+  auto st = Ref<FutureState<int>>::make(*rt);
+  std::atomic<bool> started{false};
+  auto consumer = rt->submit(0, [&] {
+    started.store(true);
+    return Future<int>(st).get() * 2;
+  });
+  while (!started.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(consumer.ready());
+  st->set_value(50);
+  st->complete();
+  EXPECT_EQ(consumer.get(), 100);
+}
+
+TEST(FutureSemantics, ManyWaitersOnOneFuture) {
+  auto rt = make_rt(2);
+  auto st = Ref<FutureState<int>>::make(*rt);
+  std::atomic<int> sum{0};
+  std::atomic<int> blocked{0};
+  std::vector<Future<void>> waiters;
+  for (int i = 0; i < 12; ++i) {
+    waiters.push_back(rt->submit(i % 4, [&, i] {
+      blocked.fetch_add(1);
+      sum.fetch_add(Future<int>(st).get() + i);
+    }));
+  }
+  while (blocked.load() < 12) std::this_thread::yield();
+  std::this_thread::sleep_for(10ms);
+  st->set_value(100);
+  st->complete();
+  for (auto& w : waiters) w.get();
+  EXPECT_EQ(sum.load(), 12 * 100 + 66);
+}
+
+TEST(FutureSemantics, ExceptionRethrownToEveryGetter) {
+  auto rt = make_rt();
+  const int caught = rt->submit(0, [] {
+                        auto f = fut_create([]() -> int {
+                          throw std::runtime_error("shared failure");
+                        });
+                        int n = 0;
+                        for (int i = 0; i < 3; ++i) {
+                          try {
+                            (void)f.get();
+                          } catch (const std::runtime_error&) {
+                            ++n;
+                          }
+                        }
+                        return n;
+                      }).get();
+  EXPECT_EQ(caught, 3);
+}
+
+TEST(FutureSemantics, VoidFuture) {
+  auto rt = make_rt();
+  std::atomic<bool> ran{false};
+  rt->submit(0, [&] {
+      auto f = fut_create([&] { ran.store(true); });
+      f.get();
+      EXPECT_TRUE(ran.load());
+      f.get();  // repeat get on void future is fine
+    }).get();
+}
+
+TEST(FutureSemantics, ExternalThreadGetBlocksUntilDone) {
+  auto rt = make_rt(2);
+  auto f = rt->submit(0, [] {
+    auto inner = fut_create([] {
+      // A small compute delay.
+      volatile long x = 0;
+      for (long i = 0; i < 2000000; ++i) x += i;
+      return 7;
+    });
+    return inner.get();
+  });
+  EXPECT_EQ(f.get(), 7);  // main (external) thread waits via the condvar
+}
+
+TEST(FutureSemantics, DefaultConstructedIsInvalid) {
+  Future<int> f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_FALSE(f.ready());
+}
+
+}  // namespace
+}  // namespace icilk

@@ -1,0 +1,229 @@
+// Property tests for Prompt I-Cilk's defining behaviours:
+//   * promptness — workers abandon lower-priority work when higher-priority
+//     work appears, within one check;
+//   * aging — the FIFO pool services resumable deques oldest-first, and the
+//     mugging queue keeps abandoned deques from being de-aged;
+//   * sleep/wake — workers sleep on an all-zero bitfield and wake on work.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/prompt_scheduler.hpp"
+#include "core/runtime.hpp"
+
+namespace icilk {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::unique_ptr<Runtime> make_rt(int workers,
+                                 PromptScheduler::Options opts = {}) {
+  RuntimeConfig cfg;
+  cfg.num_workers = workers;
+  cfg.num_levels = 8;
+  return std::make_unique<Runtime>(cfg,
+                                   std::make_unique<PromptScheduler>(opts));
+}
+
+/// Spin-wait helper with deadline.
+template <typename Pred>
+bool eventually(Pred p, std::chrono::milliseconds limit = 2000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (p()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return p();
+}
+
+// A single worker grinding low-priority work must pick up high-priority
+// work at its next spawn/sync/get boundary — before finishing the
+// low-priority task — because promptness abandons the active deque.
+TEST(Promptness, HighPriorityPreemptsAtOpBoundary) {
+  auto rt = make_rt(1);  // ONE worker: interleaving must come from abandonment
+  std::atomic<bool> high_ran{false};
+  std::atomic<bool> low_observed_high{false};
+  std::atomic<bool> low_started{false};
+
+  auto low = rt->submit(0, [&] {
+    low_started.store(true);
+    // Long-running loop with spawn boundaries (each spawn is a check).
+    for (int i = 0; i < 100000; ++i) {
+      spawn([] {});
+      sync();
+      if (high_ran.load()) {
+        low_observed_high.store(true);
+        return;
+      }
+    }
+  });
+  ASSERT_TRUE(eventually([&] { return low_started.load(); }));
+  auto high = rt->submit(3, [&] { high_ran.store(true); });
+  high.get();
+  low.get();
+  // The single worker ran the high task while low was still looping =>
+  // low must have seen it before finishing its 100k iterations.
+  EXPECT_TRUE(low_observed_high.load());
+  EXPECT_GE(rt->stats_snapshot().abandons, 1u);
+}
+
+// With checks disabled (work-first ablation), the same setup must NOT
+// preempt: the single worker finishes the low loop first.
+TEST(Promptness, NoChecksMeansNoPreemption) {
+  PromptScheduler::Options opts;
+  opts.check_period = 0;  // ablation: never check
+  auto rt = make_rt(1, opts);
+  std::atomic<bool> high_ran{false};
+  std::atomic<bool> low_observed_high{false};
+  std::atomic<bool> low_started{false};
+
+  auto low = rt->submit(0, [&] {
+    low_started.store(true);
+    for (int i = 0; i < 20000; ++i) {
+      spawn([] {});
+      sync();
+      if (high_ran.load()) {
+        low_observed_high.store(true);
+        return;
+      }
+    }
+  });
+  ASSERT_TRUE(eventually([&] { return low_started.load(); }));
+  auto high = rt->submit(3, [&] { high_ran.store(true); });
+  low.get();
+  high.get();
+  EXPECT_FALSE(low_observed_high.load());
+  EXPECT_EQ(rt->stats_snapshot().abandons, 0u);
+}
+
+// An abandoned deque must resume and complete (nothing lost).
+TEST(Promptness, AbandonedWorkEventuallyCompletes) {
+  auto rt = make_rt(2);
+  std::atomic<int> low_done{0};
+  std::vector<Future<void>> lows;
+  for (int i = 0; i < 8; ++i) {
+    lows.push_back(rt->submit(0, [&] {
+      for (int k = 0; k < 200; ++k) {
+        spawn([] {});
+        sync();
+      }
+      low_done.fetch_add(1);
+    }));
+  }
+  // Keep injecting high-priority work to force abandonment churn.
+  for (int i = 0; i < 50; ++i) {
+    rt->submit(5, [] {}).get();
+  }
+  for (auto& f : lows) f.get();
+  EXPECT_EQ(low_done.load(), 8);
+}
+
+// Workers with nothing to do must sleep (no busy spinning): stats record
+// sleeps, and the process stays responsive.
+TEST(Promptness, IdleWorkersSleep) {
+  auto rt = make_rt(4);
+  rt->submit(0, [] {}).get();
+  // Give workers a moment to drain and hit the condvar.
+  EXPECT_TRUE(eventually([&] { return rt->stats_snapshot().sleeps >= 1; }));
+  // And they must wake up for new work.
+  EXPECT_EQ(rt->submit(2, [] { return 9; }).get(), 9);
+}
+
+// Aging: resumable deques are serviced in the order they became resumable.
+// K tasks suspend on K externally-completed futures (promise-style, the
+// same mechanism I/O futures use). Completing the futures in order 0..K-1
+// must produce completion order 0..K-1 with a single consumer worker —
+// the FIFO pool is the only ordering source.
+TEST(Aging, ResumableServicedFifo) {
+  auto rt = make_rt(1);
+  constexpr int kTasks = 6;
+  std::vector<Ref<FutureState<void>>> gates;
+  for (int i = 0; i < kTasks; ++i) {
+    gates.push_back(Ref<FutureState<void>>::make(*rt));
+  }
+  std::vector<int> completion_order;
+  SpinLock order_mu;
+  std::atomic<int> blocked{0};
+
+  std::vector<Future<void>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back(rt->submit(0, [&, i] {
+      blocked.fetch_add(1);
+      Future<void>(gates[i]).get();  // suspend until gate i completes
+      LockGuard<SpinLock> g(order_mu);
+      completion_order.push_back(i);
+    }));
+  }
+  ASSERT_TRUE(eventually([&] { return blocked.load() == kTasks; }));
+  // Occupy the single worker so the resumptions PILE UP in the pool (we
+  // are testing pool service order, not one-at-a-time pickup), complete
+  // the gates in order, then release the worker.
+  std::atomic<bool> release{false};
+  auto blocker = rt->submit(0, [&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::this_thread::sleep_for(20ms);
+  for (int i = 0; i < kTasks; ++i) {
+    gates[i]->complete();
+    std::this_thread::sleep_for(1ms);
+  }
+  release.store(true);
+  blocker.get();
+  for (auto& t : tasks) t.get();
+  ASSERT_EQ(completion_order.size(), static_cast<std::size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(completion_order[i], i) << "aging order violated at " << i;
+  }
+}
+
+// The LIFO-pool ablation must violate that order (sanity check that the
+// FIFO property above is real and the test can detect its absence).
+TEST(Aging, LifoAblationReversesOrder) {
+  PromptScheduler::Options opts;
+  opts.pool_kind = PoolKind::LifoStack;
+  auto rt = make_rt(1, opts);
+  constexpr int kTasks = 4;
+  std::vector<Ref<FutureState<void>>> gates;
+  for (int i = 0; i < kTasks; ++i) {
+    gates.push_back(Ref<FutureState<void>>::make(*rt));
+  }
+  std::vector<int> completion_order;
+  SpinLock order_mu;
+  std::atomic<int> blocked{0};
+  std::vector<Future<void>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back(rt->submit(0, [&, i] {
+      blocked.fetch_add(1);
+      Future<void>(gates[i]).get();
+      LockGuard<SpinLock> g(order_mu);
+      completion_order.push_back(i);
+    }));
+  }
+  ASSERT_TRUE(eventually([&] { return blocked.load() == kTasks; }));
+  // Occupy the single worker so resumptions pile up in the pool, complete
+  // every gate, then release the worker: a LIFO pool serves the pile
+  // newest-first.
+  std::atomic<bool> release{false};
+  auto blocker = rt->submit(0, [&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::this_thread::sleep_for(20ms);  // let the blocker occupy the worker
+  for (int i = 0; i < kTasks; ++i) gates[i]->complete();
+  release.store(true);
+  blocker.get();
+  for (auto& t : tasks) t.get();
+  ASSERT_EQ(completion_order.size(), static_cast<std::size_t>(kTasks));
+  // Not asserting exact reverse (the first completion may be picked up
+  // immediately); assert it is NOT the FIFO order.
+  bool fifo = true;
+  for (int i = 0; i < kTasks; ++i) fifo &= (completion_order[i] == i);
+  EXPECT_FALSE(fifo) << "LIFO ablation unexpectedly served FIFO";
+}
+
+}  // namespace
+}  // namespace icilk

@@ -1,0 +1,188 @@
+// Randomized stress battery, parameterized over (scheduler, worker count):
+// a fuzzer-shaped workload of nested spawns, future chains, cross-priority
+// tosses, task-mutex critical sections and external submitters, with a
+// deterministic checksum so any lost/duplicated/corrupted task shows up.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "concurrent/rng.hpp"
+#include "core/adaptive_scheduler.hpp"
+#include "core/api.hpp"
+#include "core/prompt_scheduler.hpp"
+#include "core/runtime.hpp"
+#include "core/sync_primitives.hpp"
+
+namespace icilk {
+namespace {
+
+struct StressCase {
+  std::string name;
+  std::function<std::unique_ptr<Scheduler>()> make;
+  int workers;
+};
+
+std::vector<StressCase> Cases() {
+  std::vector<StressCase> cases;
+  for (const int w : {1, 2, 4, 7}) {
+    cases.push_back({"prompt_w" + std::to_string(w),
+                     [] { return std::make_unique<PromptScheduler>(); }, w});
+  }
+  AdaptiveScheduler::Params p;
+  p.quantum_us = 700;
+  for (const int w : {1, 4}) {
+    for (const auto v :
+         {AdaptiveScheduler::Variant::Adaptive,
+          AdaptiveScheduler::Variant::Greedy}) {
+      const char* vn =
+          v == AdaptiveScheduler::Variant::Adaptive ? "adaptive" : "greedy";
+      cases.push_back({std::string(vn) + "_w" + std::to_string(w),
+                       [v, p] {
+                         return std::make_unique<AdaptiveScheduler>(v, p);
+                       },
+                       w});
+    }
+  }
+  return cases;
+}
+
+class StressTest : public ::testing::TestWithParam<StressCase> {};
+
+// The recursive "chaos" task: every node contributes its value exactly
+// once; children are spawned/tossed/futured according to a seeded RNG.
+long chaos(std::uint64_t seed, int depth, std::atomic<long>& sum) {
+  Xoshiro256 rng(seed);
+  sum.fetch_add(1, std::memory_order_relaxed);
+  long acc = 1;
+  if (depth == 0) return acc;
+  const int kids = 2 + static_cast<int>(rng.bounded(2));
+  std::vector<Future<long>> futs;
+  std::vector<std::unique_ptr<std::atomic<long>>> spawned;
+  for (int k = 0; k < kids; ++k) {
+    const std::uint64_t kid_seed = rng.next();
+    switch (rng.bounded(4)) {
+      case 0: {  // same-priority spawn
+        spawned.push_back(std::make_unique<std::atomic<long>>(0));
+        auto* slot = spawned.back().get();
+        spawn([slot, kid_seed, depth, &sum] {
+          slot->store(chaos(kid_seed, depth - 1, sum));
+        });
+        break;
+      }
+      case 1: {  // cross-priority spawn (joined by the same sync)
+        spawned.push_back(std::make_unique<std::atomic<long>>(0));
+        auto* slot = spawned.back().get();
+        spawn_at(static_cast<Priority>(rng.bounded(6)),
+                 [slot, kid_seed, depth, &sum] {
+                   slot->store(chaos(kid_seed, depth - 1, sum));
+                 });
+        break;
+      }
+      case 2:  // same-priority future
+        futs.push_back(fut_create([kid_seed, depth, &sum] {
+          return chaos(kid_seed, depth - 1, sum);
+        }));
+        break;
+      default:  // cross-priority future
+        futs.push_back(fut_create_at(
+            static_cast<Priority>(rng.bounded(6)), [kid_seed, depth, &sum] {
+              return chaos(kid_seed, depth - 1, sum);
+            }));
+    }
+  }
+  icilk::sync();
+  for (auto& s : spawned) acc += s->load();
+  for (auto& f : futs) acc += f.get();
+  return acc;
+}
+
+TEST_P(StressTest, ChaosTreeConservesWork) {
+  const auto& c = GetParam();
+  RuntimeConfig cfg;
+  cfg.num_workers = c.workers;
+  cfg.num_levels = 6;
+  Runtime rt(cfg, c.make());
+
+  std::atomic<long> node_count{0};
+  const long total =
+      rt.submit(3, [&] { return chaos(0xC0FFEE, 4, node_count); }).get();
+  // Every node returns 1 + sum of children, so the root total must equal
+  // the number of nodes that ever ran.
+  EXPECT_EQ(total, node_count.load());
+  EXPECT_GT(total, 30);  // the tree is non-trivial (>= 2^5 - 1)
+}
+
+TEST_P(StressTest, ParallelSubmittersWithLocks) {
+  const auto& c = GetParam();
+  RuntimeConfig cfg;
+  cfg.num_workers = c.workers;
+  cfg.num_levels = 6;
+  Runtime rt(cfg, c.make());
+
+  TaskMutex mu;
+  long protected_counter = 0;
+  std::atomic<long> tasks_done{0};
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 40;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256 rng(t + 1);
+      std::vector<Future<void>> fs;
+      for (int i = 0; i < kPerThread; ++i) {
+        fs.push_back(
+            rt.submit(static_cast<Priority>(rng.bounded(6)), [&mu, &rt,
+                                                              &protected_counter,
+                                                              &tasks_done] {
+              (void)rt;
+              for (int k = 0; k < 5; ++k) {
+                spawn([&] {
+                  mu.lock();
+                  ++protected_counter;
+                  mu.unlock();
+                });
+              }
+              icilk::sync();
+              tasks_done.fetch_add(1, std::memory_order_relaxed);
+            }));
+      }
+      for (auto& f : fs) f.get();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tasks_done.load(), kThreads * kPerThread);
+  EXPECT_EQ(protected_counter, kThreads * kPerThread * 5L);
+}
+
+TEST_P(StressTest, RepeatedSmallBursts) {
+  const auto& c = GetParam();
+  RuntimeConfig cfg;
+  cfg.num_workers = c.workers;
+  cfg.num_levels = 6;
+  Runtime rt(cfg, c.make());
+  // Bursty arrival then quiescence, repeatedly — exercises the sleep/wake
+  // (prompt) and ramp-up/down (adaptive) paths many times.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> n{0};
+    std::vector<Future<void>> fs;
+    for (int i = 0; i < 16; ++i) {
+      fs.push_back(rt.submit(i % 6, [&n] { n.fetch_add(1); }));
+    }
+    for (auto& f : fs) f.get();
+    ASSERT_EQ(n.load(), 16) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StressTest, ::testing::ValuesIn(Cases()),
+    [](const ::testing::TestParamInfo<StressCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace icilk

@@ -1,0 +1,277 @@
+// Tests for the task-aware synchronization primitives (the paper's §7
+// future-work item): locks/condvars that suspend TASKS, never workers.
+#include "core/sync_primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/prompt_scheduler.hpp"
+#include "core/runtime.hpp"
+
+namespace icilk {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::unique_ptr<Runtime> make_rt(int workers) {
+  RuntimeConfig cfg;
+  cfg.num_workers = workers;
+  cfg.num_levels = 4;
+  return std::make_unique<Runtime>(cfg, std::make_unique<PromptScheduler>());
+}
+
+TEST(TaskMutex, UncontendedLockUnlock) {
+  auto rt = make_rt(2);
+  TaskMutex m;
+  rt->submit(0, [&] {
+      m.lock();
+      EXPECT_TRUE(m.held_for_test());
+      m.unlock();
+      EXPECT_FALSE(m.held_for_test());
+      EXPECT_TRUE(m.try_lock());
+      EXPECT_FALSE(m.try_lock());
+      m.unlock();
+    }).get();
+}
+
+TEST(TaskMutex, MutualExclusionAcrossTasks) {
+  auto rt = make_rt(4);
+  TaskMutex m;
+  long counter = 0;
+  constexpr int kTasks = 16;
+  constexpr int kIters = 2000;
+  std::vector<Future<void>> fs;
+  for (int t = 0; t < kTasks; ++t) {
+    fs.push_back(rt->submit(t % 3, [&] {
+      for (int i = 0; i < kIters; ++i) {
+        m.lock();
+        ++counter;  // torn updates would show under contention
+        m.unlock();
+      }
+    }));
+  }
+  for (auto& f : fs) f.get();
+  EXPECT_EQ(counter, static_cast<long>(kTasks) * kIters);
+}
+
+// The defining property: a task blocked on a TaskMutex must NOT block its
+// worker. With ONE worker, holder and contender can only make progress if
+// the contender's deque suspends.
+TEST(TaskMutex, BlockedTaskDoesNotBlockWorker) {
+  auto rt = make_rt(1);  // ONE worker: any worker-blocking would deadlock
+  TaskMutex m;
+  std::atomic<bool> holder_has_lock{false};
+  std::atomic<bool> contender_got{false};
+  std::atomic<bool> bystander_ran{false};
+  auto ext_gate = Ref<FutureState<void>>::make(*rt);
+
+  // Holder: takes the lock, then suspends on an externally-completed
+  // future — it HOLDS the mutex while off the worker.
+  auto holder = rt->submit(0, [&] {
+    m.lock();
+    holder_has_lock.store(true);
+    Future<void>(ext_gate).get();
+    m.unlock();
+  });
+  while (!holder_has_lock.load()) std::this_thread::yield();
+
+  // Contender: blocks on the mutex. If this blocked the only worker, the
+  // bystander below could never run and the test would hang.
+  auto contender = rt->submit(1, [&] {
+    m.lock();
+    contender_got.store(true);
+    m.unlock();
+  });
+  std::this_thread::sleep_for(20ms);
+  auto bystander = rt->submit(2, [&] { bystander_ran.store(true); });
+  bystander.get();  // proves the worker is free despite two blocked tasks
+  EXPECT_TRUE(bystander_ran.load());
+  EXPECT_FALSE(contender_got.load());
+
+  ext_gate->complete();  // holder resumes, unlocks, hands off
+  holder.get();
+  contender.get();
+  EXPECT_TRUE(contender_got.load());
+}
+
+TEST(TaskMutex, FifoHandoffOrder) {
+  auto rt = make_rt(1);
+  TaskMutex m;
+  std::vector<int> order;
+  std::atomic<int> queued{0};
+  rt->submit(0, [&] { m.lock(); }).get();  // externally visible holder
+
+  std::vector<Future<void>> fs;
+  for (int i = 0; i < 5; ++i) {
+    fs.push_back(rt->submit(0, [&, i] {
+      queued.fetch_add(1);
+      m.lock();
+      order.push_back(i);
+      m.unlock();
+    }));
+    // Serialize arrival order.
+    while (queued.load() != i + 1) std::this_thread::yield();
+    std::this_thread::sleep_for(5ms);
+  }
+  m.unlock();  // external unlock starts the handoff chain
+  for (auto& f : fs) f.get();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TaskMutex, ExternalThreadInterop) {
+  auto rt = make_rt(2);
+  TaskMutex m;
+  long counter = 0;
+  std::vector<std::thread> ext;
+  std::vector<Future<void>> fs;
+  for (int i = 0; i < 2; ++i) {
+    ext.emplace_back([&] {
+      for (int k = 0; k < 1000; ++k) {
+        m.lock();
+        ++counter;
+        m.unlock();
+      }
+    });
+    fs.push_back(rt->submit(0, [&] {
+      for (int k = 0; k < 1000; ++k) {
+        m.lock();
+        ++counter;
+        m.unlock();
+      }
+    }));
+  }
+  for (auto& t : ext) t.join();
+  for (auto& f : fs) f.get();
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(TaskCondVar, ProducerConsumer) {
+  auto rt = make_rt(3);
+  TaskMutex m;
+  TaskCondVar cv;
+  std::deque<int> queue;
+  bool done = false;
+  long consumed_sum = 0;
+  constexpr int kItems = 500;
+
+  auto consumer = rt->submit(1, [&] {
+    long local = 0;
+    for (;;) {
+      m.lock();
+      cv.wait(m, [&] { return !queue.empty() || done; });
+      if (queue.empty() && done) {
+        m.unlock();
+        break;
+      }
+      local += queue.front();
+      queue.pop_front();
+      m.unlock();
+    }
+    consumed_sum = local;
+  });
+  auto producer = rt->submit(0, [&] {
+    for (int i = 1; i <= kItems; ++i) {
+      m.lock();
+      queue.push_back(i);
+      m.unlock();
+      cv.notify_one();
+    }
+    m.lock();
+    done = true;
+    m.unlock();
+    cv.notify_all();
+  });
+  producer.get();
+  consumer.get();
+  EXPECT_EQ(consumed_sum, static_cast<long>(kItems) * (kItems + 1) / 2);
+}
+
+TEST(TaskCondVar, NotifyAllWakesEveryone) {
+  auto rt = make_rt(2);
+  TaskMutex m;
+  TaskCondVar cv;
+  bool go = false;
+  std::atomic<int> woke{0};
+  std::vector<Future<void>> fs;
+  for (int i = 0; i < 6; ++i) {
+    fs.push_back(rt->submit(0, [&] {
+      m.lock();
+      cv.wait(m, [&] { return go; });
+      m.unlock();
+      woke.fetch_add(1);
+    }));
+  }
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(woke.load(), 0);
+  m.lock();
+  go = true;
+  m.unlock();
+  cv.notify_all();
+  for (auto& f : fs) f.get();
+  EXPECT_EQ(woke.load(), 6);
+}
+
+TEST(TaskSemaphore, BoundsConcurrency) {
+  auto rt = make_rt(4);
+  TaskSemaphore sem(3);
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<Future<void>> fs;
+  for (int i = 0; i < 24; ++i) {
+    fs.push_back(rt->submit(i % 4, [&] {
+      sem.acquire();
+      const int now = inside.fetch_add(1) + 1;
+      int prev = max_inside.load();
+      while (now > prev && !max_inside.compare_exchange_weak(prev, now)) {
+      }
+      // A suspension point while "inside" (lets others try to enter).
+      auto f = fut_create([] { return 0; });
+      f.get();
+      inside.fetch_sub(1);
+      sem.release();
+    }));
+  }
+  for (auto& f : fs) f.get();
+  EXPECT_LE(max_inside.load(), 3);
+  EXPECT_GE(max_inside.load(), 1);
+  EXPECT_EQ(sem.available_for_test(), 3);
+}
+
+TEST(TaskSemaphore, TryAcquire) {
+  TaskSemaphore sem(1);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+  sem.release(2);
+  EXPECT_EQ(sem.available_for_test(), 2);
+}
+
+TEST(TaskBarrier, ReleasesAllAtOnce) {
+  auto rt = make_rt(3);
+  TaskBarrier bar(5);
+  std::atomic<int> before{0}, after{0}, last_count{0};
+  std::vector<Future<void>> fs;
+  for (int i = 0; i < 5; ++i) {
+    fs.push_back(rt->submit(0, [&] {
+      before.fetch_add(1);
+      if (bar.arrive_and_wait()) last_count.fetch_add(1);
+      after.fetch_add(1);
+    }));
+    if (i == 2) {
+      std::this_thread::sleep_for(10ms);
+      EXPECT_EQ(after.load(), 0);  // nobody passes early
+    }
+  }
+  for (auto& f : fs) f.get();
+  EXPECT_EQ(after.load(), 5);
+  EXPECT_EQ(last_count.load(), 1);  // exactly one "last arriver"
+}
+
+}  // namespace
+}  // namespace icilk

@@ -1,0 +1,70 @@
+// Tests for guard-paged stacks and the stack pool.
+#include "fiber/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace icilk {
+namespace {
+
+TEST(Stack, AllocatesUsableMemory) {
+  Stack s(64 * 1024);
+  ASSERT_TRUE(s.valid());
+  EXPECT_GE(s.usable_size(), 64u * 1024);
+  // Stacks grow down from top(); the usable region must be writable.
+  char* top = static_cast<char*>(s.top());
+  std::memset(top - s.usable_size(), 0xAB, s.usable_size());
+  EXPECT_EQ(static_cast<unsigned char>(*(top - 1)), 0xAB);
+}
+
+TEST(Stack, TopIsSixteenByteAligned) {
+  Stack s(32 * 1024);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s.top()) % 16, 0u);
+}
+
+TEST(Stack, MoveTransfersOwnership) {
+  Stack a(16 * 1024);
+  void* top = a.top();
+  Stack b(std::move(a));
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.top(), top);
+  Stack c;
+  c = std::move(b);
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.top(), top);
+}
+
+TEST(StackPool, ReusesStacks) {
+  StackPool pool(32 * 1024, /*max_cached=*/8);
+  Stack s1 = pool.get();
+  void* top1 = s1.top();
+  pool.put(std::move(s1));
+  EXPECT_EQ(pool.cached_for_test(), 1u);
+  Stack s2 = pool.get();
+  EXPECT_EQ(s2.top(), top1);  // same mapping came back
+  EXPECT_EQ(pool.cached_for_test(), 0u);
+  EXPECT_EQ(pool.total_allocated_for_test(), 1u);
+}
+
+TEST(StackPool, CapsCachedStacks) {
+  StackPool pool(16 * 1024, /*max_cached=*/2);
+  Stack a = pool.get(), b = pool.get(), c = pool.get();
+  pool.put(std::move(a));
+  pool.put(std::move(b));
+  pool.put(std::move(c));  // dropped, cache full
+  EXPECT_EQ(pool.cached_for_test(), 2u);
+  EXPECT_EQ(pool.total_allocated_for_test(), 3u);
+}
+
+TEST(StackPool, InvalidPutIgnored) {
+  StackPool pool(16 * 1024);
+  Stack empty;
+  pool.put(std::move(empty));
+  EXPECT_EQ(pool.cached_for_test(), 0u);
+}
+
+}  // namespace
+}  // namespace icilk

@@ -1,0 +1,113 @@
+// Tests for store serialization and the server's background persistence.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "apps/memcached/icilk_server.hpp"
+#include "core/prompt_scheduler.hpp"
+#include "kv/store.hpp"
+
+namespace icilk::kv {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Snapshot, EmptyStoreRoundTrips) {
+  Store a, b;
+  const std::string blob = a.serialize();
+  EXPECT_EQ(b.deserialize(blob), 0);
+  EXPECT_EQ(b.item_count(), 0u);
+}
+
+TEST(Snapshot, ValuesFlagsSurvive) {
+  Store a;
+  a.set("alpha", "one", 7, 0);
+  a.set("beta", std::string(5000, 'B'), 0, 0);
+  a.set("gamma", "", 42, 0);  // empty value is legal
+  Store b;
+  EXPECT_EQ(b.deserialize(a.serialize()), 3);
+  EXPECT_EQ(b.item_count(), 3u);
+  auto r = b.get("alpha");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->value, "one");
+  EXPECT_EQ(r->flags, 7u);
+  EXPECT_EQ(b.get("beta")->value, std::string(5000, 'B'));
+  EXPECT_EQ(b.get("gamma")->value, "");
+}
+
+TEST(Snapshot, ExpiredItemsSkippedTtlReanchored) {
+  Store a;
+  a.set("dies", "x", 0, ttl_from_seconds(0.01));
+  a.set("lives", "y", 0, ttl_from_seconds(100));
+  a.set("forever", "z", 0, 0);
+  std::this_thread::sleep_for(30ms);
+  Store b;
+  EXPECT_EQ(b.deserialize(a.serialize()), 2);  // "dies" dropped at dump
+  EXPECT_FALSE(b.get("dies").has_value());
+  EXPECT_TRUE(b.get("lives").has_value());
+  EXPECT_TRUE(b.get("forever").has_value());
+}
+
+TEST(Snapshot, BinarySafeKeysAndValues) {
+  Store a;
+  const std::string key("k\x01\x02", 3);
+  const std::string val("\x00\xFF\r\n\x00", 5);
+  a.set(key, val, 1, 0);
+  Store b;
+  EXPECT_EQ(b.deserialize(a.serialize()), 1);
+  EXPECT_EQ(b.get(key)->value, val);
+}
+
+TEST(Snapshot, CorruptBlobsRejected) {
+  Store b;
+  EXPECT_EQ(b.deserialize(""), -1);
+  EXPECT_EQ(b.deserialize("nonsense"), -1);
+  Store a;
+  a.set("k", "v", 0, 0);
+  std::string blob = a.serialize();
+  EXPECT_EQ(b.deserialize(blob.substr(0, blob.size() / 2)), -1);
+}
+
+TEST(Snapshot, ServerBackgroundTaskWritesFile) {
+  const std::string path =
+      "/tmp/icilk_snap_" + std::to_string(::getpid()) + ".mc";
+  {
+    apps::ICilkMcServer::Config cfg;
+    cfg.rt.num_workers = 2;
+    cfg.rt.num_io_threads = 1;
+    cfg.rt.num_levels = 2;
+    cfg.snapshot_path = path;
+    cfg.snapshot_interval_ms = 50;
+    apps::ICilkMcServer server(cfg, std::make_unique<PromptScheduler>());
+    server.store().set("persisted", "yes", 3, 0);
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (server.snapshots_written() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(5ms);
+    }
+    EXPECT_GE(server.snapshots_written(), 1u);
+    server.stop();
+  }
+  // Warm-restart: load the file into a fresh store.
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string blob;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) blob.append(buf, n);
+  std::fclose(f);
+  Store restored;
+  EXPECT_GT(restored.deserialize(blob), 0);
+  auto r = restored.get("persisted");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->value, "yes");
+  EXPECT_EQ(r->flags, 3u);
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace icilk::kv

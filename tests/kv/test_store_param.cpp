@@ -1,0 +1,124 @@
+// Parameterized property sweeps over Store configurations: the same
+// behavioural contract must hold across bucket/stripe geometries and byte
+// budgets (TEST_P, per the hash table's tuning surface).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "concurrent/rng.hpp"
+#include "kv/store.hpp"
+
+namespace icilk::kv {
+namespace {
+
+// (num_buckets, num_stripes, max_bytes)
+using StoreGeom = std::tuple<std::size_t, std::size_t, std::size_t>;
+
+class StoreParamTest : public ::testing::TestWithParam<StoreGeom> {
+ protected:
+  Store::Config config() const {
+    Store::Config cfg;
+    cfg.num_buckets = std::get<0>(GetParam());
+    cfg.num_stripes = std::get<1>(GetParam());
+    cfg.max_bytes = std::get<2>(GetParam());
+    return cfg;
+  }
+};
+
+TEST_P(StoreParamTest, RoundTripManyKeys) {
+  Store s(config());
+  constexpr int kKeys = 500;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_EQ(s.set("key" + std::to_string(i), "val" + std::to_string(i), 0,
+                    0),
+              StoreResult::Stored);
+  }
+  int hits = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    if (auto r = s.get("key" + std::to_string(i))) {
+      EXPECT_EQ(r->value, "val" + std::to_string(i));
+      ++hits;
+    }
+  }
+  // Tiny-budget configs may have evicted; hits must match live items.
+  EXPECT_EQ(static_cast<std::uint64_t>(hits), s.item_count());
+  EXPECT_LE(s.bytes_used(), config().max_bytes);
+}
+
+TEST_P(StoreParamTest, BudgetNeverExceededUnderChurn) {
+  Store s(config());
+  Xoshiro256 rng(99);
+  const std::string val(200, 'x');
+  for (int i = 0; i < 3000; ++i) {
+    s.set("k" + std::to_string(rng.bounded(1000)), val, 0, 0);
+    if (i % 7 == 0) s.erase("k" + std::to_string(rng.bounded(1000)));
+    ASSERT_LE(s.bytes_used(), config().max_bytes) << "at op " << i;
+  }
+}
+
+TEST_P(StoreParamTest, AccountingConsistentAfterFlush) {
+  Store s(config());
+  for (int i = 0; i < 200; ++i) {
+    s.set("k" + std::to_string(i), std::string(50, 'a'), 0, 0);
+  }
+  s.flush_all();
+  EXPECT_EQ(s.item_count(), 0u);
+  EXPECT_EQ(s.bytes_used(), 0u);
+}
+
+TEST_P(StoreParamTest, ConcurrentChurnKeepsInvariants) {
+  Store s(config());
+  constexpr int kThreads = 4;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&s, t] {
+      Xoshiro256 rng(t);
+      const std::string val(100, static_cast<char>('a' + t));
+      for (int i = 0; i < 3000; ++i) {
+        const std::string key = "k" + std::to_string(rng.bounded(400));
+        switch (rng.bounded(5)) {
+          case 0:
+            s.set(key, val, 0, 0);
+            break;
+          case 1:
+            (void)s.get(key);
+            break;
+          case 2:
+            s.erase(key);
+            break;
+          case 3:
+            s.add(key, val, 0, 0);
+            break;
+          default:
+            s.touch(key, ttl_from_seconds(100));
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_LE(s.bytes_used(), config().max_bytes);
+  // Residual items must all be retrievable (no corrupted chains).
+  std::size_t found = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (s.get("k" + std::to_string(i))) ++found;
+  }
+  EXPECT_EQ(found, s.item_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, StoreParamTest,
+    ::testing::Values(StoreGeom{1, 1, 16 << 10},      // single bucket, tiny
+                      StoreGeom{16, 4, 64 << 10},     // small, striped
+                      StoreGeom{1 << 10, 1 << 6, 1 << 20},
+                      StoreGeom{1 << 14, 1 << 8, 64u << 20}),  // default-ish
+    [](const ::testing::TestParamInfo<StoreGeom>& info) {
+      return "b" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param)) + "_m" +
+             std::to_string(std::get<2>(info.param) >> 10) + "k";
+    });
+
+}  // namespace
+}  // namespace icilk::kv

@@ -1,0 +1,90 @@
+// Additional histogram properties: bucket error bounds, formatting, and
+// concurrent recording.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "concurrent/rng.hpp"
+#include "load/histogram.hpp"
+
+namespace icilk::load {
+namespace {
+
+// Property: every recorded value's bucket upper edge is within the
+// log-linear scheme's relative error bound (1/64 ≈ 1.6%) of the value.
+TEST(HistogramProperty, RelativeErrorBounded) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 20000; ++i) {
+    // Values spanning 100ns .. ~100s.
+    const std::uint64_t v =
+        100 + (rng.next() % (100ull * 1000 * 1000 * 1000));
+    Histogram h;
+    h.record(v);
+    const std::uint64_t q = h.percentile_ns(1.0);
+    ASSERT_GE(q, v);  // upper edge never under-reports
+    ASSERT_LE(static_cast<double>(q - v), static_cast<double>(v) / 32.0 + 1)
+        << "v=" << v << " q=" << q;
+  }
+}
+
+TEST(HistogramProperty, MonotonePercentiles) {
+  Histogram h;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 5000; ++i) h.record(1000 + rng.bounded(1000000));
+  std::uint64_t prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    const std::uint64_t v = h.percentile_ns(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramProperty, ConcurrentRecordersLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 6;
+  constexpr int kPer = 50000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h, t] {
+      for (int i = 0; i < kPer; ++i) {
+        h.record(static_cast<std::uint64_t>(1000 * (t + 1)));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+TEST(FormatNs, HumanReadableUnits) {
+  EXPECT_EQ(format_ns(500), "500ns");
+  EXPECT_EQ(format_ns(1500), "1.5us");
+  EXPECT_EQ(format_ns(2500000), "2.50ms");
+  EXPECT_EQ(format_ns(3.2e9), "3.20s");
+}
+
+TEST(HistogramSummary, ContainsAllFields) {
+  Histogram h;
+  h.record(1000000);
+  const std::string s = h.summary();
+  for (const char* field : {"n=1", "mean=", "p50=", "p95=", "p99=", "max="}) {
+    EXPECT_NE(s.find(field), std::string::npos) << s;
+  }
+}
+
+TEST(HistogramEdge, QuantileClamping) {
+  Histogram h;
+  h.record(5000);
+  EXPECT_EQ(h.percentile_ns(-0.5), h.percentile_ns(0.0));
+  EXPECT_EQ(h.percentile_ns(1.5), h.percentile_ns(1.0));
+}
+
+TEST(HistogramEdge, HugeValueSaturatesLastBucket) {
+  Histogram h;
+  h.record(~0ull);  // absurd latency must not crash or corrupt
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.percentile_ns(1.0), 0u);
+}
+
+}  // namespace
+}  // namespace icilk::load

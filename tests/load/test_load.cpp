@@ -1,0 +1,141 @@
+// Tests for the load-measurement library: histogram math, open-loop
+// schedules, QoS search, and the memcached driver against a live server.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/memcached/icilk_server.hpp"
+#include "core/prompt_scheduler.hpp"
+#include "load/histogram.hpp"
+#include "load/mc_client.hpp"
+#include "load/openloop.hpp"
+#include "load/qos.hpp"
+
+namespace icilk::load {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile_ns(0.99), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(1000000);  // 1ms
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_ns(), 1000000u);
+  // Bucketed value must be within ~2% of the true value.
+  EXPECT_NEAR(static_cast<double>(h.percentile_ns(0.5)), 1e6, 2e4);
+}
+
+TEST(Histogram, PercentilesOfUniformRamp) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) {
+    h.record(static_cast<std::uint64_t>(i) * 1000);  // 1us..10ms ramp
+  }
+  EXPECT_NEAR(static_cast<double>(h.percentile_ns(0.5)), 5e6, 5e6 * 0.03);
+  EXPECT_NEAR(static_cast<double>(h.percentile_ns(0.95)), 9.5e6,
+              9.5e6 * 0.03);
+  EXPECT_NEAR(static_cast<double>(h.percentile_ns(0.99)), 9.9e6,
+              9.9e6 * 0.03);
+  EXPECT_NEAR(h.mean_ns(), 5.0005e6, 5e6 * 0.03);
+}
+
+TEST(Histogram, SmallValuesExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.record(v);
+  EXPECT_EQ(h.percentile_ns(1.0), 63u);  // sub-kSub values bucket exactly
+}
+
+TEST(Histogram, MergeCombinesCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(1000);
+  for (int i = 0; i < 100; ++i) b.record(1000000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_LT(a.percentile_ns(0.25), 2000u);
+  EXPECT_GT(a.percentile_ns(0.75), 500000u);
+  EXPECT_EQ(a.max_ns(), 1000000u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5000);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+}
+
+TEST(OpenLoop, PoissonMatchesRate) {
+  const auto arr = poisson_schedule(1000.0, 2.0, 42);
+  // ~2000 arrivals expected; Poisson sd ~ 45.
+  EXPECT_NEAR(static_cast<double>(arr.size()), 2000.0, 200.0);
+  // Sorted, within horizon.
+  for (std::size_t i = 1; i < arr.size(); ++i) {
+    EXPECT_GE(arr[i], arr[i - 1]);
+  }
+  EXPECT_LT(arr.back(), 2000000000ull);
+}
+
+TEST(OpenLoop, PoissonDeterministicPerSeed) {
+  EXPECT_EQ(poisson_schedule(500, 1, 7), poisson_schedule(500, 1, 7));
+  EXPECT_NE(poisson_schedule(500, 1, 7), poisson_schedule(500, 1, 8));
+}
+
+TEST(OpenLoop, UniformEvenlySpaced) {
+  const auto arr = uniform_schedule(100, 1.0);
+  ASSERT_GE(arr.size(), 98u);
+  const std::uint64_t gap = arr[1] - arr[0];
+  EXPECT_NEAR(static_cast<double>(gap), 1e7, 1e4);
+}
+
+TEST(Qos, BinarySearchFindsThreshold) {
+  // Synthetic latency curve: passes below 5000 rps, fails above.
+  auto trial = [](double rps) { return rps < 5000 ? 1e6 : 100e6; };
+  QosCriterion crit;
+  const double max_rps = find_max_rps(trial, crit, 100, 20000, 100);
+  EXPECT_NEAR(max_rps, 5000, 150);
+}
+
+TEST(Qos, FloorViolationReturnsZero) {
+  auto trial = [](double) { return 1e12; };
+  EXPECT_EQ(find_max_rps(trial, QosCriterion{}, 100, 1000, 50), 0.0);
+}
+
+TEST(Qos, CeilingPassReturnsCeiling) {
+  auto trial = [](double) { return 1.0; };
+  EXPECT_EQ(find_max_rps(trial, QosCriterion{}, 100, 1000, 50), 1000.0);
+}
+
+// End-to-end: drive a live icilk server with the open-loop client.
+TEST(McClientE2E, DrivesServerAndMeasures) {
+  apps::ICilkMcServer::Config scfg;
+  scfg.rt.num_workers = 2;
+  scfg.rt.num_io_threads = 2;
+  scfg.rt.num_levels = 2;
+  apps::ICilkMcServer server(scfg,
+                             std::make_unique<PromptScheduler>());
+
+  McClient::Config ccfg;
+  ccfg.port = static_cast<std::uint16_t>(server.port());
+  ccfg.connections = 8;
+  ccfg.keyspace = 128;
+  ccfg.value_size = 64;
+  McClient client(ccfg);
+  ASSERT_TRUE(client.setup());
+
+  Histogram hist;
+  const auto arrivals = poisson_schedule(500.0, 1.0, 3);
+  const std::size_t done = client.run(arrivals, hist, 5.0);
+  EXPECT_EQ(client.errors(), 0u);
+  EXPECT_EQ(done, arrivals.size());
+  EXPECT_EQ(hist.count(), arrivals.size());
+  EXPECT_GT(hist.percentile_ns(0.5), 0u);
+  // On loopback, median latency at trivial load must be far below 100ms.
+  EXPECT_LT(hist.percentile_ns(0.5), 100000000u);
+}
+
+}  // namespace
+}  // namespace icilk::load

@@ -1,0 +1,80 @@
+// Tests for socket helpers.
+#include "net/socket.hpp"
+
+#include <gtest/gtest.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace icilk::net {
+namespace {
+
+TEST(Socket, ListenEphemeralPort) {
+  const int fd = listen_tcp(0);
+  ASSERT_GE(fd, 0);
+  const int port = local_port(fd);
+  EXPECT_GT(port, 0);
+  EXPECT_LE(port, 65535);
+  ::close(fd);
+}
+
+TEST(Socket, ListenerIsNonblocking) {
+  const int fd = listen_tcp(0);
+  ASSERT_GE(fd, 0);
+  // accept on a nonblocking listener with no clients returns EAGAIN.
+  EXPECT_LT(::accept(fd, nullptr, nullptr), 0);
+  EXPECT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
+  ::close(fd);
+}
+
+TEST(Socket, ConnectRoundTrip) {
+  const int lfd = listen_tcp(0);
+  ASSERT_GE(lfd, 0);
+  const int port = local_port(lfd);
+  const int cfd = connect_tcp(static_cast<std::uint16_t>(port));
+  ASSERT_GE(cfd, 0);
+  int sfd = -1;
+  for (int spin = 0; spin < 1000 && sfd < 0; ++spin) {
+    sfd = ::accept4(lfd, nullptr, nullptr, SOCK_NONBLOCK);
+    if (sfd < 0 && errno != EAGAIN) break;
+  }
+  ASSERT_GE(sfd, 0);
+  // Connected fd is nonblocking.
+  const int flags = ::fcntl(cfd, F_GETFL, 0);
+  EXPECT_TRUE(flags & O_NONBLOCK);
+  ::close(cfd);
+  ::close(sfd);
+  ::close(lfd);
+}
+
+TEST(Socket, ConnectToClosedPortFails) {
+  // Grab an ephemeral port, close it, then connect: must fail (refused).
+  const int lfd = listen_tcp(0);
+  const int port = local_port(lfd);
+  ::close(lfd);
+  const int r = connect_tcp(static_cast<std::uint16_t>(port));
+  EXPECT_LT(r, 0);
+}
+
+TEST(Socket, NodelaySetsOption) {
+  const int lfd = listen_tcp(0);
+  const int cfd = connect_tcp(static_cast<std::uint16_t>(local_port(lfd)));
+  ASSERT_GE(cfd, 0);
+  EXPECT_EQ(set_nodelay(cfd), 0);
+  ::close(cfd);
+  ::close(lfd);
+}
+
+TEST(Socket, SocketErrorOnHealthyFd) {
+  const int lfd = listen_tcp(0);
+  const int cfd = connect_tcp(static_cast<std::uint16_t>(local_port(lfd)));
+  ASSERT_GE(cfd, 0);
+  EXPECT_EQ(socket_error(cfd), 0);
+  ::close(cfd);
+  ::close(lfd);
+}
+
+}  // namespace
+}  // namespace icilk::net
