@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prompt_check.dir/ablation_prompt_check.cpp.o"
+  "CMakeFiles/ablation_prompt_check.dir/ablation_prompt_check.cpp.o.d"
+  "ablation_prompt_check"
+  "ablation_prompt_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prompt_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_memcached_p99.dir/fig1_memcached_p99.cpp.o"
+  "CMakeFiles/fig1_memcached_p99.dir/fig1_memcached_p99.cpp.o.d"
+  "fig1_memcached_p99"
+  "fig1_memcached_p99.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_memcached_p99.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_memcached_p99.
+# This may be replaced when dependencies are built.

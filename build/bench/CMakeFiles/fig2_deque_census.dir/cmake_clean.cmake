@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_deque_census.dir/fig2_deque_census.cpp.o"
+  "CMakeFiles/fig2_deque_census.dir/fig2_deque_census.cpp.o.d"
+  "fig2_deque_census"
+  "fig2_deque_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_deque_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

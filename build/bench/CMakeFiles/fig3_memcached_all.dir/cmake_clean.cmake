@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_memcached_all.dir/fig3_memcached_all.cpp.o"
+  "CMakeFiles/fig3_memcached_all.dir/fig3_memcached_all.cpp.o.d"
+  "fig3_memcached_all"
+  "fig3_memcached_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_memcached_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_jobserver.dir/fig4_jobserver.cpp.o"
+  "CMakeFiles/fig4_jobserver.dir/fig4_jobserver.cpp.o.d"
+  "fig4_jobserver"
+  "fig4_jobserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_jobserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

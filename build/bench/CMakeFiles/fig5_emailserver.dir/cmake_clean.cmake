@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_emailserver.dir/fig5_emailserver.cpp.o"
+  "CMakeFiles/fig5_emailserver.dir/fig5_emailserver.cpp.o.d"
+  "fig5_emailserver"
+  "fig5_emailserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_emailserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_faa_queue.dir/micro_faa_queue.cpp.o"
+  "CMakeFiles/micro_faa_queue.dir/micro_faa_queue.cpp.o.d"
+  "micro_faa_queue"
+  "micro_faa_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_faa_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

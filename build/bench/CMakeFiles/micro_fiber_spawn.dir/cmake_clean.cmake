@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fiber_spawn.dir/micro_fiber_spawn.cpp.o"
+  "CMakeFiles/micro_fiber_spawn.dir/micro_fiber_spawn.cpp.o.d"
+  "micro_fiber_spawn"
+  "micro_fiber_spawn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fiber_spawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_capacity.dir/qos_capacity.cpp.o"
+  "CMakeFiles/qos_capacity.dir/qos_capacity.cpp.o.d"
+  "qos_capacity"
+  "qos_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/chat_broadcast.cpp" "examples/CMakeFiles/chat_broadcast.dir/chat_broadcast.cpp.o" "gcc" "examples/CMakeFiles/chat_broadcast.dir/chat_broadcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/icilk_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/icilk_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/icilk_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/icilk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/icilk_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icilk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/eventlib/CMakeFiles/icilk_eventlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/icilk_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/icilk_concurrent.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

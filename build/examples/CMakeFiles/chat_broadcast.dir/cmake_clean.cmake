@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chat_broadcast.dir/chat_broadcast.cpp.o"
+  "CMakeFiles/chat_broadcast.dir/chat_broadcast.cpp.o.d"
+  "chat_broadcast"
+  "chat_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chat_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

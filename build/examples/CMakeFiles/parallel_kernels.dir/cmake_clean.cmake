@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_kernels.dir/parallel_kernels.cpp.o"
+  "CMakeFiles/parallel_kernels.dir/parallel_kernels.cpp.o.d"
+  "parallel_kernels"
+  "parallel_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

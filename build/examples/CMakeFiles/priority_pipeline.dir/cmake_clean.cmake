@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_pipeline.dir/priority_pipeline.cpp.o"
+  "CMakeFiles/priority_pipeline.dir/priority_pipeline.cpp.o.d"
+  "priority_pipeline"
+  "priority_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icilk_apps.dir/email/codec.cpp.o"
+  "CMakeFiles/icilk_apps.dir/email/codec.cpp.o.d"
+  "CMakeFiles/icilk_apps.dir/email/email_server.cpp.o"
+  "CMakeFiles/icilk_apps.dir/email/email_server.cpp.o.d"
+  "CMakeFiles/icilk_apps.dir/job/job_server.cpp.o"
+  "CMakeFiles/icilk_apps.dir/job/job_server.cpp.o.d"
+  "CMakeFiles/icilk_apps.dir/job/kernels.cpp.o"
+  "CMakeFiles/icilk_apps.dir/job/kernels.cpp.o.d"
+  "CMakeFiles/icilk_apps.dir/memcached/icilk_server.cpp.o"
+  "CMakeFiles/icilk_apps.dir/memcached/icilk_server.cpp.o.d"
+  "CMakeFiles/icilk_apps.dir/memcached/pthread_server.cpp.o"
+  "CMakeFiles/icilk_apps.dir/memcached/pthread_server.cpp.o.d"
+  "libicilk_apps.a"
+  "libicilk_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icilk_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

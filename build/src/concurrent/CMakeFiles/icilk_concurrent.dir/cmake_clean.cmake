@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icilk_concurrent.dir/clock.cpp.o"
+  "CMakeFiles/icilk_concurrent.dir/clock.cpp.o.d"
+  "CMakeFiles/icilk_concurrent.dir/epoch.cpp.o"
+  "CMakeFiles/icilk_concurrent.dir/epoch.cpp.o.d"
+  "libicilk_concurrent.a"
+  "libicilk_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icilk_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

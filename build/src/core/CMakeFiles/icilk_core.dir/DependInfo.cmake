@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_scheduler.cpp" "src/core/CMakeFiles/icilk_core.dir/adaptive_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/icilk_core.dir/adaptive_scheduler.cpp.o.d"
+  "/root/repo/src/core/prompt_scheduler.cpp" "src/core/CMakeFiles/icilk_core.dir/prompt_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/icilk_core.dir/prompt_scheduler.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/icilk_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/icilk_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/sync_primitives.cpp" "src/core/CMakeFiles/icilk_core.dir/sync_primitives.cpp.o" "gcc" "src/core/CMakeFiles/icilk_core.dir/sync_primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fiber/CMakeFiles/icilk_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/icilk_concurrent.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icilk_core.dir/adaptive_scheduler.cpp.o"
+  "CMakeFiles/icilk_core.dir/adaptive_scheduler.cpp.o.d"
+  "CMakeFiles/icilk_core.dir/prompt_scheduler.cpp.o"
+  "CMakeFiles/icilk_core.dir/prompt_scheduler.cpp.o.d"
+  "CMakeFiles/icilk_core.dir/runtime.cpp.o"
+  "CMakeFiles/icilk_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/icilk_core.dir/sync_primitives.cpp.o"
+  "CMakeFiles/icilk_core.dir/sync_primitives.cpp.o.d"
+  "libicilk_core.a"
+  "libicilk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icilk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

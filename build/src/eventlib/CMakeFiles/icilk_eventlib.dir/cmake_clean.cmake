@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icilk_eventlib.dir/event.cpp.o"
+  "CMakeFiles/icilk_eventlib.dir/event.cpp.o.d"
+  "libicilk_eventlib.a"
+  "libicilk_eventlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icilk_eventlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icilk_fiber.dir/context.S.o"
+  "CMakeFiles/icilk_fiber.dir/fiber.cpp.o"
+  "CMakeFiles/icilk_fiber.dir/fiber.cpp.o.d"
+  "CMakeFiles/icilk_fiber.dir/stack.cpp.o"
+  "CMakeFiles/icilk_fiber.dir/stack.cpp.o.d"
+  "libicilk_fiber.a"
+  "libicilk_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/icilk_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icilk_io.dir/reactor.cpp.o"
+  "CMakeFiles/icilk_io.dir/reactor.cpp.o.d"
+  "libicilk_io.a"
+  "libicilk_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icilk_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

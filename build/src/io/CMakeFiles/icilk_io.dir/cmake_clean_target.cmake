@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicilk_io.a"
+)

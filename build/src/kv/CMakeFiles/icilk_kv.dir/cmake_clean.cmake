@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icilk_kv.dir/protocol.cpp.o"
+  "CMakeFiles/icilk_kv.dir/protocol.cpp.o.d"
+  "CMakeFiles/icilk_kv.dir/store.cpp.o"
+  "CMakeFiles/icilk_kv.dir/store.cpp.o.d"
+  "libicilk_kv.a"
+  "libicilk_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icilk_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/load/histogram.cpp" "src/load/CMakeFiles/icilk_load.dir/histogram.cpp.o" "gcc" "src/load/CMakeFiles/icilk_load.dir/histogram.cpp.o.d"
+  "/root/repo/src/load/mc_client.cpp" "src/load/CMakeFiles/icilk_load.dir/mc_client.cpp.o" "gcc" "src/load/CMakeFiles/icilk_load.dir/mc_client.cpp.o.d"
+  "/root/repo/src/load/openloop.cpp" "src/load/CMakeFiles/icilk_load.dir/openloop.cpp.o" "gcc" "src/load/CMakeFiles/icilk_load.dir/openloop.cpp.o.d"
+  "/root/repo/src/load/qos.cpp" "src/load/CMakeFiles/icilk_load.dir/qos.cpp.o" "gcc" "src/load/CMakeFiles/icilk_load.dir/qos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/concurrent/CMakeFiles/icilk_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/icilk_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

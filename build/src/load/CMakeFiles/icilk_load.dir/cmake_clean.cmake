@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icilk_load.dir/histogram.cpp.o"
+  "CMakeFiles/icilk_load.dir/histogram.cpp.o.d"
+  "CMakeFiles/icilk_load.dir/mc_client.cpp.o"
+  "CMakeFiles/icilk_load.dir/mc_client.cpp.o.d"
+  "CMakeFiles/icilk_load.dir/openloop.cpp.o"
+  "CMakeFiles/icilk_load.dir/openloop.cpp.o.d"
+  "CMakeFiles/icilk_load.dir/qos.cpp.o"
+  "CMakeFiles/icilk_load.dir/qos.cpp.o.d"
+  "libicilk_load.a"
+  "libicilk_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icilk_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

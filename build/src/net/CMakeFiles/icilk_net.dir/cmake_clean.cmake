@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icilk_net.dir/socket.cpp.o"
+  "CMakeFiles/icilk_net.dir/socket.cpp.o.d"
+  "libicilk_net.a"
+  "libicilk_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icilk_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deque_races.dir/core/test_deque_races.cpp.o"
+  "CMakeFiles/test_deque_races.dir/core/test_deque_races.cpp.o.d"
+  "test_deque_races"
+  "test_deque_races.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deque_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

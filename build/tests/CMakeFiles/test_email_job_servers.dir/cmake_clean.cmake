@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_email_job_servers.dir/apps/test_email_job_servers.cpp.o"
+  "CMakeFiles/test_email_job_servers.dir/apps/test_email_job_servers.cpp.o.d"
+  "test_email_job_servers"
+  "test_email_job_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_email_job_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

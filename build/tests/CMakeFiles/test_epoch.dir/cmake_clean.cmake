@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epoch.dir/concurrent/test_epoch.cpp.o"
+  "CMakeFiles/test_epoch.dir/concurrent/test_epoch.cpp.o.d"
+  "test_epoch"
+  "test_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

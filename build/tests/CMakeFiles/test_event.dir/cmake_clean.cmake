@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event.dir/eventlib/test_event.cpp.o"
+  "CMakeFiles/test_event.dir/eventlib/test_event.cpp.o.d"
+  "test_event"
+  "test_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_extra.dir/eventlib/test_event_extra.cpp.o"
+  "CMakeFiles/test_event_extra.dir/eventlib/test_event_extra.cpp.o.d"
+  "test_event_extra"
+  "test_event_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

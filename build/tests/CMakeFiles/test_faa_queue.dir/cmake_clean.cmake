@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faa_queue.dir/concurrent/test_faa_queue.cpp.o"
+  "CMakeFiles/test_faa_queue.dir/concurrent/test_faa_queue.cpp.o.d"
+  "test_faa_queue"
+  "test_faa_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faa_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

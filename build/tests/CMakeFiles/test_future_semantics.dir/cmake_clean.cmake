@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_future_semantics.dir/core/test_future_semantics.cpp.o"
+  "CMakeFiles/test_future_semantics.dir/core/test_future_semantics.cpp.o.d"
+  "test_future_semantics"
+  "test_future_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_future_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

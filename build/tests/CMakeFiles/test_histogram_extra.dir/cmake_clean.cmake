@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_histogram_extra.dir/load/test_histogram_extra.cpp.o"
+  "CMakeFiles/test_histogram_extra.dir/load/test_histogram_extra.cpp.o.d"
+  "test_histogram_extra"
+  "test_histogram_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_histogram_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

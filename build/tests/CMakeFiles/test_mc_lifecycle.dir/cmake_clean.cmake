@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_lifecycle.dir/apps/test_mc_lifecycle.cpp.o"
+  "CMakeFiles/test_mc_lifecycle.dir/apps/test_mc_lifecycle.cpp.o.d"
+  "test_mc_lifecycle"
+  "test_mc_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_servers.dir/apps/test_mc_servers.cpp.o"
+  "CMakeFiles/test_mc_servers.dir/apps/test_mc_servers.cpp.o.d"
+  "test_mc_servers"
+  "test_mc_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

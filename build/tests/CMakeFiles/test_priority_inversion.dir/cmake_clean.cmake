@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priority_inversion.dir/core/test_priority_inversion.cpp.o"
+  "CMakeFiles/test_priority_inversion.dir/core/test_priority_inversion.cpp.o.d"
+  "test_priority_inversion"
+  "test_priority_inversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priority_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

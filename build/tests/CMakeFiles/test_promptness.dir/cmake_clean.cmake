@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_promptness.dir/core/test_promptness.cpp.o"
+  "CMakeFiles/test_promptness.dir/core/test_promptness.cpp.o.d"
+  "test_promptness"
+  "test_promptness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_promptness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_promptness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reactor.dir/io/test_reactor.cpp.o"
+  "CMakeFiles/test_reactor.dir/io/test_reactor.cpp.o.d"
+  "test_reactor"
+  "test_reactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reactor_edge.dir/io/test_reactor_edge.cpp.o"
+  "CMakeFiles/test_reactor_edge.dir/io/test_reactor_edge.cpp.o.d"
+  "test_reactor_edge"
+  "test_reactor_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reactor_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/concurrent/test_ref.cpp" "tests/CMakeFiles/test_ref.dir/concurrent/test_ref.cpp.o" "gcc" "tests/CMakeFiles/test_ref.dir/concurrent/test_ref.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icilk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fiber/CMakeFiles/icilk_fiber.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrent/CMakeFiles/icilk_concurrent.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedulers_param.dir/core/test_schedulers_param.cpp.o"
+  "CMakeFiles/test_schedulers_param.dir/core/test_schedulers_param.cpp.o.d"
+  "test_schedulers_param"
+  "test_schedulers_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedulers_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spinlock.dir/concurrent/test_spinlock.cpp.o"
+  "CMakeFiles/test_spinlock.dir/concurrent/test_spinlock.cpp.o.d"
+  "test_spinlock"
+  "test_spinlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spinlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_param.dir/kv/test_store_param.cpp.o"
+  "CMakeFiles/test_store_param.dir/kv/test_store_param.cpp.o.d"
+  "test_store_param"
+  "test_store_param.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
