@@ -88,6 +88,11 @@ struct McTrialOptions {
   std::uint64_t seed = 1;
   /// Census sampling (Figure 2): period in us; 0 disables.
   int census_sample_us = 0;
+  /// When nonempty, enable scheduler event tracing for the trial and write
+  /// a Chrome trace_event JSON file here (open in chrome://tracing or
+  /// Perfetto). One trial overwrites the previous trial's file; point each
+  /// bench at one representative trial or use distinct paths.
+  std::string trace_out;
 };
 
 struct McTrialResult {
@@ -106,6 +111,7 @@ inline McTrialResult run_mc_trial_icilk(const SchedFactory& make_sched,
   cfg.rt.num_workers = opt.server_workers;
   cfg.rt.num_io_threads = opt.io_threads;
   cfg.rt.num_levels = 2;
+  cfg.rt.trace_events = !opt.trace_out.empty();
   apps::ICilkMcServer server(cfg, make_sched());
 
   load::McClient::Config ccfg;
@@ -142,6 +148,14 @@ inline McTrialResult run_mc_trial_icilk(const SchedFactory& make_sched,
   res.completed = client.run(arrivals, res.hist);
   res.client_errors = client.errors();
   res.sched_stats = server.runtime().stats_snapshot();
+  if (!opt.trace_out.empty()) {
+    if (server.runtime().trace_sink().write_chrome_trace_file(
+            opt.trace_out)) {
+      std::fprintf(stderr, "trace written: %s\n", opt.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace write FAILED: %s\n", opt.trace_out.c_str());
+    }
+  }
   if (sampler.joinable()) {
     sampling.store(false, std::memory_order_release);
     sampler.join();
@@ -199,6 +213,32 @@ McTrialResult best_of(int reps, F&& runner) {
 
 inline void print_header(const char* title, const char* cols) {
   std::printf("\n=== %s ===\n%s\n", title, cols);
+}
+
+/// Extracts `--trace-out=PATH` (or `--trace-out PATH`) from argv; returns
+/// "" when absent. Positional args are left for the bench to interpret.
+inline std::string trace_out_arg(int argc, char** argv) {
+  const std::string prefix = "--trace-out=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    if (a == "--trace-out" && i + 1 < argc) return argv[i + 1];
+  }
+  return "";
+}
+
+/// "out.json" + "prompt" -> "out.prompt.json" (tag before the extension),
+/// for benches that trace several scheduler configurations in one run.
+inline std::string tagged_trace_path(const std::string& base,
+                                     const std::string& tag) {
+  if (base.empty()) return base;
+  const std::size_t dot = base.rfind('.');
+  const std::size_t slash = base.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + "." + tag;
+  }
+  return base.substr(0, dot) + "." + tag + base.substr(dot);
 }
 
 inline double ms(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }

@@ -10,7 +10,9 @@ int main(int argc, char** argv) {
   using namespace icilk;
   using namespace icilk::bench;
 
-  const double duration = (argc > 1) ? std::atof(argv[1]) : 2.0;
+  const double duration =
+      (argc > 1 && argv[1][0] != '-') ? std::atof(argv[1]) : 2.0;
+  const std::string trace_out = trace_out_arg(argc, argv);
   const std::vector<double> rps_points = {2000, 6000, 10000, 14000};
 
   AdaptiveScheduler::Params p;  // one representative parameter set
@@ -26,6 +28,7 @@ int main(int argc, char** argv) {
     opt.duration_s = duration;
     opt.client_connections = 600;  // the paper drives 600 clients
     opt.census_sample_us = p.quantum_us;
+    opt.trace_out = trace_out;  // last RPS point's trace survives
     auto r = run_mc_trial_icilk(
         [&p] {
           return std::make_unique<AdaptiveScheduler>(

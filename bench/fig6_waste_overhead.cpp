@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   using namespace icilk;
   using namespace icilk::bench;
 
-  const double duration = (argc > 1) ? std::atof(argv[1]) : 2.0;
+  const double duration =
+      (argc > 1 && argv[1][0] != '-') ? std::atof(argv[1]) : 2.0;
+  const std::string trace_out = trace_out_arg(argc, argv);
 
   AdaptiveScheduler::Params ap;  // representative parameter set
   ap.quantum_us = 2000;
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
     McTrialOptions mopt;
     mopt.rps = 6000;
     mopt.duration_s = duration;
+    mopt.trace_out = tagged_trace_path(trace_out, sc.family);
     auto mr = run_mc_trial_icilk(sc.make, mopt);
     row("memcached", sc.name.c_str(), mr.sched_stats);
   }

@@ -87,6 +87,20 @@ void ICilkMcServer::connection_routine(int fd) {
     out.clear();
     bool keep = true;
     while (parser.next(req)) {
+      if (req.verb == kv::Verb::Stats) {
+        if (!req.keys.empty() && req.keys[0] == "icilk") {
+          // `stats icilk`: only the scheduler-observability group.
+          out += icilk_stats_text();
+          out += "END\r\n";
+          continue;
+        }
+        // Plain `stats`: the kv stats with the scheduler group appended.
+        if (!kv::execute(req, store_, out, icilk_stats_text())) {
+          keep = false;
+          break;
+        }
+        continue;
+      }
       if (!kv::execute(req, store_, out)) {
         keep = false;
         break;
@@ -144,6 +158,47 @@ void ICilkMcServer::snapshot_routine() {
 }
 
 // ---------------------------------------------------------------------------
+
+std::string ICilkMcServer::icilk_stats_text() const {
+  const StatsSnapshot s = rt_->stats_snapshot();
+  std::string out;
+  const auto add = [&out](const char* name, std::uint64_t v) {
+    out += "STAT icilk_";
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += "\r\n";
+  };
+  const auto add_s = [&out](const char* name, double seconds) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "STAT icilk_%s %.6f\r\n", name, seconds);
+    out += buf;
+  };
+  add("steals", s.steals);
+  add("mugs", s.mugs);
+  add("abandons", s.abandons);
+  add("spawns", s.spawns);
+  add("sleeps", s.sleeps);
+  add("failed_probes", s.failed_probes);
+  add("gets_suspended", s.gets_suspended);
+  add("tasks_run", s.tasks_run);
+  add("deques_created", s.deques_created);
+  add_s("work_s", s.work_s);
+  add_s("sched_s", s.sched_s);
+  add_s("waste_s", s.waste_s);
+  add("io_ops_submitted", reactor_->ops_submitted_for_test());
+  add("io_ops_inline", reactor_->ops_inline_for_test());
+  for (int k = 0; k < cfg_.rt.num_levels; ++k) {
+    const std::int64_t c = rt_->census(static_cast<Priority>(k));
+    if (c != 0) {
+      out += "STAT icilk_l" + std::to_string(k) + "_census " +
+             std::to_string(c) + "\r\n";
+    }
+  }
+  // Per-level counters and promptness/aging percentiles.
+  out += rt_->metrics().text("icilk_", "\r\n");
+  return out;
+}
 
 void ICilkMcServer::stop() {
   bool expected = false;

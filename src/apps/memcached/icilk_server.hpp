@@ -61,6 +61,12 @@ class ICilkMcServer {
   /// drains connection routines, stops background tasks.
   void stop();
 
+  /// The scheduler-observability stat group served by `stats icilk` (and
+  /// appended to plain `stats`): aggregate worker counters, per-level
+  /// steal/mug/abandon counts, promptness/aging latency percentiles,
+  /// deque census, reactor totals. Lines are "STAT name value\r\n".
+  std::string icilk_stats_text() const;
+
   int active_connections() const noexcept {
     return active_conns_.load(std::memory_order_relaxed);
   }

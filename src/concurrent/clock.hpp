@@ -11,6 +11,7 @@
 // A StopwatchBucket accumulates disjoint segments into named counters.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -46,16 +47,24 @@ inline std::uint64_t now_ns() noexcept {
           .count());
 }
 
-/// Accumulates tick segments. Single-writer (one worker), readers tolerate
-/// torn-free relaxed reads because totals are only consumed at quiescence.
+/// Accumulates tick segments. Single-writer (one worker); concurrent
+/// readers (the adaptive allocator's utilization snapshot, bench
+/// aggregation) get torn-free values via relaxed atomics. The store is a
+/// plain load+add+store — still one writer, so no RMW is needed and the
+/// codegen matches the old non-atomic field.
 class TickAccumulator {
  public:
-  void add(std::uint64_t ticks) noexcept { total_ += ticks; }
-  std::uint64_t total() const noexcept { return total_; }
-  void reset() noexcept { total_ = 0; }
+  void add(std::uint64_t ticks) noexcept {
+    total_.store(total_.load(std::memory_order_relaxed) + ticks,
+                 std::memory_order_relaxed);
+  }
+  std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { total_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t total_ = 0;
+  std::atomic<std::uint64_t> total_{0};
 };
 
 /// RAII segment timer: charge the elapsed ticks to an accumulator.

@@ -167,6 +167,8 @@ void AdaptiveScheduler::pre_op_check(Worker& w) {
   if (target == w.level) return;
 
   w.stats.abandons++;
+  rt_->metrics().count(obs::EventKind::kAbandon, w.level);
+  ICILK_TRACE_RECORD(w.trace, obs::EventKind::kAbandon, w.level, 0);
   TaskFiber* self = w.current;
   rt_->park_current([this, self] {
     Worker& w2 = *this_worker();
@@ -210,6 +212,12 @@ void AdaptiveScheduler::pre_op_check(Worker& w) {
 bool AdaptiveScheduler::adopt_mugged(Worker& w, Ref<Deque> d, Continuation&& c,
                                      Priority level) {
   w.stats.mugs++;
+  rt_->metrics().count(obs::EventKind::kMug, level);
+  if (const std::uint64_t since = d->take_resumable_stamp(); since != 0) {
+    const std::uint64_t now = now_ns();
+    rt_->metrics().record_aging(level, now > since ? now - since : 0);
+  }
+  ICILK_TRACE_RECORD(w.trace, obs::EventKind::kMug, level, 0);
   if (!greedy()) {
     // The deque becomes OUR active deque; move it out of the victim's pool
     // and, if it still has stealable entries, into ours.
@@ -226,6 +234,8 @@ bool AdaptiveScheduler::adopt_mugged(Worker& w, Ref<Deque> d, Continuation&& c,
 
 bool AdaptiveScheduler::adopt_stolen(Worker& w, TaskFiber* f, Priority level) {
   w.stats.steals++;
+  rt_->metrics().count(obs::EventKind::kSteal, level);
+  ICILK_TRACE_RECORD(w.trace, obs::EventKind::kSteal, level, 0);
   auto nd = Ref<Deque>::adopt(new Deque(level, rt_->census_slot(level)));
   w.stats.deques_created++;
   w.level = level;
@@ -299,6 +309,13 @@ bool AdaptiveScheduler::greedy_try_get(Worker& w, Priority level) {
     Continuation c;
     if (d->try_mug(c)) {
       w.stats.mugs++;
+      rt_->metrics().count(obs::EventKind::kMug, level);
+      if (const std::uint64_t since = d->take_resumable_stamp();
+          since != 0) {
+        const std::uint64_t now = now_ns();
+        rt_->metrics().record_aging(level, now > since ? now - since : 0);
+      }
+      ICILK_TRACE_RECORD(w.trace, obs::EventKind::kMug, level, 0);
       Ref<Deque> keep = d;
       if (d->has_entries()) {
         central_[level]->push_regular(std::move(d));

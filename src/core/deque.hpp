@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "concurrent/clock.hpp"
 #include "concurrent/ref.hpp"
 #include "concurrent/spinlock.hpp"
 #include "core/task.hpp"
@@ -82,6 +83,7 @@ class Deque : public RefCounted {
     LockGuard<SpinLock> g(mu_);
     assert(state_.load(std::memory_order_relaxed) == State::Active);
     bottom_ = bottom_continuation(bottom);
+    resumable_at_ns_.store(now_ns(), std::memory_order_relaxed);
     state_.store(State::Resumable, std::memory_order_release);
     update_census();
   }
@@ -103,8 +105,16 @@ class Deque : public RefCounted {
   void make_resumable() {
     LockGuard<SpinLock> g(mu_);
     assert(state_.load(std::memory_order_relaxed) == State::Suspended);
+    resumable_at_ns_.store(now_ns(), std::memory_order_relaxed);
     state_.store(State::Resumable, std::memory_order_release);
     update_census();
+  }
+
+  /// Consumes the resumable-since stamp (set at every transition INTO
+  /// Resumable); 0 if none pending. The successful mugger calls this to
+  /// measure aging delay (resumable -> resumed).
+  std::uint64_t take_resumable_stamp() noexcept {
+    return resumable_at_ns_.exchange(0, std::memory_order_relaxed);
   }
 
   // ---- thief operations ----
@@ -172,6 +182,7 @@ class Deque : public RefCounted {
                                   std::atomic<std::int64_t>* census) {
     auto d = Ref<Deque>::adopt(new Deque(c.priority, census));
     d->bottom_ = std::move(c);
+    d->resumable_at_ns_.store(now_ns(), std::memory_order_relaxed);
     d->state_.store(State::Resumable, std::memory_order_release);
     LockGuard<SpinLock> g(d->mu_);
     d->update_census();
@@ -219,6 +230,7 @@ class Deque : public RefCounted {
   std::atomic<State> state_{State::Active};
   std::atomic<std::size_t> entry_count_{0};
   std::atomic<bool> in_queue_{false};
+  std::atomic<std::uint64_t> resumable_at_ns_{0};  // aging-delay stamp
   bool counted_ = false;  // guarded by mu_
 };
 

@@ -152,6 +152,11 @@ void PromptScheduler::stop() {
 
 void PromptScheduler::set_bit(Priority p) {
   const std::uint64_t old = bits_.set(p);
+  if ((old & (std::uint64_t{1} << p)) == 0) {
+    // Level p just went empty -> non-empty: stamp the transition so the
+    // first acquisition at p yields a promptness-response-latency sample.
+    rt_->metrics().note_level_nonempty(p);
+  }
   // Wake one sleeper per unit of arriving work (wake rate tracks push
   // rate): waking everyone on each 0 -> non-zero transition — the obvious
   // reading of the paper's broadcast — thrashes when worker threads
@@ -207,6 +212,12 @@ bool PromptScheduler::process_candidate(Worker& w, Ref<Deque> d, Priority h) {
   Continuation c;
   if (d->try_mug(c)) {
     w.stats.mugs++;
+    rt_->metrics().count(obs::EventKind::kMug, h);
+    if (const std::uint64_t since = d->take_resumable_stamp(); since != 0) {
+      const std::uint64_t now = now_ns();
+      rt_->metrics().record_aging(h, now > since ? now - since : 0);
+    }
+    ICILK_TRACE_RECORD(w.trace, obs::EventKind::kMug, h, 0);
     Ref<Deque> keep = d;  // our active reference
     if (d->has_entries()) {
       requeue_regular(std::move(d));  // still stealable: back to the tail
@@ -220,6 +231,8 @@ bool PromptScheduler::process_candidate(Worker& w, Ref<Deque> d, Priority h) {
   }
   if (TaskFiber* f = d->steal_top()) {
     w.stats.steals++;
+    rt_->metrics().count(obs::EventKind::kSteal, h);
+    ICILK_TRACE_RECORD(w.trace, obs::EventKind::kSteal, h, 0);
     if (d->stealable_or_resumable()) {
       requeue_regular(std::move(d));
     } else {
@@ -277,6 +290,7 @@ bool PromptScheduler::acquire(Worker& w) {
     empty_rounds = 0;
 
     if (try_get_work(w, h)) {
+      rt_->metrics().note_level_acquired(h);
       w.stats.sched_ticks.add(now_ticks() - t0);
       return true;
     }
@@ -285,6 +299,7 @@ bool PromptScheduler::acquire(Worker& w) {
     // from the (possibly different) highest level.
     double_check_clear(h);
     w.stats.failed_probes++;
+    ICILK_TRACE_RECORD(w.trace, obs::EventKind::kAcquireFail, h, 0);
     w.stats.waste_ticks.add(now_ticks() - t0);
     if (++failed_rounds % 16 == 0) sched_yield();
   }
@@ -294,6 +309,8 @@ void PromptScheduler::idle_sleep(Worker& w) {
   std::unique_lock<std::mutex> lk(sleep_mu_);
   if (bits_.load() != 0 || stop_.load(std::memory_order_acquire)) return;
   w.stats.sleeps++;
+  ICILK_TRACE_RECORD(w.trace, obs::EventKind::kSleepBegin,
+                     obs::TraceEvent::kNoLevel16, 0);
   sleepers_.fetch_add(1, std::memory_order_seq_cst);
   // Bounded wait: the notifier does not hold sleep_mu_ (see set_bit), so
   // a wakeup issued in our check->wait window can be missed; the timeout
@@ -302,6 +319,8 @@ void PromptScheduler::idle_sleep(Worker& w) {
     return bits_.load() != 0 || stop_.load(std::memory_order_acquire);
   });
   sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  ICILK_TRACE_RECORD(w.trace, obs::EventKind::kSleepEnd,
+                     obs::TraceEvent::kNoLevel16, 0);
 }
 
 void PromptScheduler::pre_op_check(Worker& w) {
@@ -317,6 +336,8 @@ void PromptScheduler::pre_op_check(Worker& w) {
   // "immediately resumable" and enters the mugging queue so it is not
   // de-aged) and let the worker loop re-acquire at the higher level.
   w.stats.abandons++;
+  rt_->metrics().count(obs::EventKind::kAbandon, w.level);
+  ICILK_TRACE_RECORD(w.trace, obs::EventKind::kAbandon, w.level, 0);
   TaskFiber* self = w.current;
   rt_->park_current([this, self] {
     Worker& w2 = *this_worker();

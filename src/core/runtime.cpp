@@ -24,12 +24,18 @@ __attribute__((noipa)) Worker* this_worker() noexcept { return tls_worker; }
 // ---------------------------------------------------------------------------
 
 Runtime::Runtime(const RuntimeConfig& cfg, std::unique_ptr<Scheduler> sched)
-    : cfg_(cfg), sched_(std::move(sched)), stacks_(cfg.stack_size) {
+    : cfg_(cfg),
+      metrics_(cfg.num_levels),
+      trace_(cfg.trace_ring_capacity, cfg.trace_events),
+      sched_(std::move(sched)),
+      stacks_(cfg.stack_size) {
   assert(cfg_.num_workers >= 1);
   sched_->attach(*this);
   workers_.reserve(cfg_.num_workers);
   for (int i = 0; i < cfg_.num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(*this, i, cfg_.seed));
+    workers_[i]->trace =
+        &trace_.acquire_ring("worker" + std::to_string(i));
   }
   threads_.reserve(cfg_.num_workers);
   for (int i = 0; i < cfg_.num_workers; ++i) {
@@ -79,6 +85,7 @@ void Runtime::retire_active(Worker& w) {
   assert(w.active->state() == Deque::State::Active);
   if (w.active->kill_if_exhausted()) {
     sched_->on_deque_dead(w, *w.active);
+    ICILK_TRACE_RECORD(w.trace, obs::EventKind::kDequeDead, w.level, 0);
   }
   w.active.reset();
 }
@@ -203,6 +210,14 @@ void Runtime::dispatch_woken(Worker& w, Ref<Deque> d) {
   if (!w.next.valid() && d->priority() == w.level) {
     Continuation c;
     if (d->try_mug(c)) {
+      const Priority p = d->priority();
+      const std::uint64_t since = d->take_resumable_stamp();
+      if (since != 0) {
+        const std::uint64_t now = now_ns();
+        metrics_.record_aging(p, now > since ? now - since : 0);
+      }
+      metrics_.count(obs::EventKind::kResume, p);
+      ICILK_TRACE_RECORD(w.trace, obs::EventKind::kResume, p, 0);
       if (w.active) retire_active(w);
       w.active = std::move(d);
       w.next = std::move(c);
@@ -245,6 +260,7 @@ void Runtime::spawn_linked(Priority p, Closure body) {
   w = this_worker();  // may have migrated
   TaskFiber* self = w->current;
   w->stats.spawns++;
+  ICILK_TRACE_RECORD(w->trace, obs::EventKind::kSpawn, p, 0);
   self->st.frame.joins.fetch_add(Frame::kChildUnit,
                                  std::memory_order_seq_cst);
 
@@ -281,6 +297,7 @@ void Runtime::fut_spawn(Priority p, Closure body, Ref<FutureStateBase> fut) {
   w->stats.spawns++;
   const Priority cur = self->st.priority;
   const Priority target = (p < 0) ? cur : p;
+  ICILK_TRACE_RECORD(w->trace, obs::EventKind::kSpawn, target, 0);
   assert(target >= 0 && target <= kMaxPriority);
 
   if (target != cur) {
@@ -323,6 +340,9 @@ void Runtime::sync_impl() {
 
   if (fr.outstanding() == 0) return;  // fast path
   w->stats.syncs_failed++;
+  metrics_.count(obs::EventKind::kSuspend, self->st.priority);
+  ICILK_TRACE_RECORD(w->trace, obs::EventKind::kSuspend, self->st.priority,
+                     0);
 
   park_current([this, self] {
     Worker& w2 = *this_worker();
@@ -385,6 +405,9 @@ void future_wait(FutureStateBase& st) {
   if (st.ready()) return;
 
   w->stats.gets_suspended++;
+  rt.metrics().count(obs::EventKind::kSuspend, w->current->st.priority);
+  ICILK_TRACE_RECORD(w->trace, obs::EventKind::kSuspend,
+                     w->current->st.priority, 0);
   rt.park_current([&rt, &st, self = w->current] {
     Worker& w2 = *this_worker();
     Ref<Deque> d = w2.active;
@@ -511,6 +534,13 @@ StatsSnapshot Runtime::stats_snapshot() const {
 
 void Runtime::reset_time_stats() {
   for (auto& w : workers_) w->stats.reset_times();
+}
+
+void Runtime::trace_event(obs::EventKind k, std::uint16_t level,
+                          std::uint32_t arg) noexcept {
+  if (Worker* w = this_worker(); w != nullptr) {
+    ICILK_TRACE_RECORD(w->trace, k, level, arg);
+  }
 }
 
 }  // namespace icilk

@@ -35,6 +35,8 @@
 #include "core/types.hpp"
 #include "core/worker.hpp"
 #include "fiber/stack.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace icilk {
 
@@ -111,6 +113,25 @@ class Runtime {
     return &census_[p].value;
   }
 
+  // ---- observability (src/obs/) ----
+
+  /// Per-priority metrics: promptness response latency, aging delay, and
+  /// per-level steal/mug/abandon/resume counters. Always on (cheap).
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Event trace rings (one per worker, plus reactor threads). Recording
+  /// is gated by the sink's enable flag (cfg.trace_events, or toggled
+  /// live) and compiled out entirely under ICILK_TRACE=OFF.
+  obs::TraceSink& trace_sink() noexcept { return trace_; }
+
+  /// Records into the CURRENT thread's worker ring, if this is a worker
+  /// thread (no-op elsewhere) — for subsystems like the reactor's
+  /// submission path that run on task context.
+  void trace_event(obs::EventKind k,
+                   std::uint16_t level = obs::TraceEvent::kNoLevel16,
+                   std::uint32_t arg = 0) noexcept;
+
   /// Sums worker stats. Safe anytime; precise at quiescence.
   StatsSnapshot stats_snapshot() const;
   /// Zeroes all worker time accumulators (not counters) — used by benches
@@ -166,6 +187,8 @@ class Runtime {
   }
 
   RuntimeConfig cfg_;
+  obs::MetricsRegistry metrics_;
+  obs::TraceSink trace_;
   std::unique_ptr<Scheduler> sched_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;

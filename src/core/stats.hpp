@@ -5,17 +5,42 @@
 //           going to sleep / waking up on the bitfield condition variable;
 //   run   — useful work plus scheduling overhead (successful steals, mugs,
 //           bitfield checks, deque/pool maintenance while active).
-// Counters are single-writer (their worker); aggregate reads happen at
-// quiescence or tolerate slight skew (used for utilization estimates by the
-// adaptive top-level allocator).
+// Counters are single-writer (their worker) but read CONCURRENTLY by the
+// adaptive top-level allocator's utilization snapshot and by live stats
+// surfaces, so they are relaxed atomics: the writer keeps the plain
+// load+add+store shape (single-writer, no RMW — same codegen as a plain
+// uint64_t, verified by bench/micro_stats_counter), readers get torn-free
+// values with at most slight skew.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "concurrent/cacheline.hpp"
 #include "concurrent/clock.hpp"
 
 namespace icilk {
+
+/// Single-writer event counter readable from any thread. operator++ keeps
+/// the `stats.steals++` call sites unchanged.
+class RelaxedCounter {
+ public:
+  void operator++(int) noexcept {
+    v_.store(v_.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+  }
+  RelaxedCounter& operator+=(std::uint64_t n) noexcept {
+    v_.store(v_.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+    return *this;
+  }
+  operator std::uint64_t() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
 
 struct alignas(kCacheLineSize) WorkerStats {
   // Tick accumulators (see clock.hpp).
@@ -24,16 +49,16 @@ struct alignas(kCacheLineSize) WorkerStats {
   TickAccumulator waste_ticks;   // failed probes, sleeping, waking
 
   // Event counters.
-  std::uint64_t spawns = 0;
-  std::uint64_t syncs_failed = 0;
-  std::uint64_t gets_suspended = 0;
-  std::uint64_t steals = 0;          // continuation steals
-  std::uint64_t mugs = 0;            // whole-deque takeovers
-  std::uint64_t failed_probes = 0;   // pool/victim probes that found nothing
-  std::uint64_t abandons = 0;        // promptness abandonments
-  std::uint64_t sleeps = 0;          // bitfield-zero condvar waits
-  std::uint64_t deques_created = 0;
-  std::uint64_t tasks_run = 0;
+  RelaxedCounter spawns;
+  RelaxedCounter syncs_failed;
+  RelaxedCounter gets_suspended;
+  RelaxedCounter steals;          // continuation steals
+  RelaxedCounter mugs;            // whole-deque takeovers
+  RelaxedCounter failed_probes;   // pool/victim probes that found nothing
+  RelaxedCounter abandons;        // promptness abandonments
+  RelaxedCounter sleeps;          // bitfield-zero condvar waits
+  RelaxedCounter deques_created;
+  RelaxedCounter tasks_run;
 
   void reset_times() {
     work_ticks.reset();

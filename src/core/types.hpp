@@ -46,6 +46,12 @@ struct RuntimeConfig {
   /// flag inversions dynamically: a get() whose caller outranks the
   /// future's routine counts (and logs, once) an inversion.
   bool detect_priority_inversions = false;
+  /// Record scheduler events into the per-worker trace rings from startup
+  /// (src/obs/trace.hpp). Can also be toggled at runtime via
+  /// Runtime::trace_sink().set_enabled(); no-op when built ICILK_TRACE=OFF.
+  bool trace_events = false;
+  /// Capacity (events, rounded up to a power of two) of each trace ring.
+  std::size_t trace_ring_capacity = std::size_t{1} << 15;
 };
 
 }  // namespace icilk

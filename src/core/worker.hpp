@@ -19,6 +19,7 @@
 #include "core/task.hpp"
 #include "core/types.hpp"
 #include "fiber/fiber.hpp"
+#include "obs/trace.hpp"
 
 namespace icilk {
 
@@ -43,6 +44,7 @@ class Worker {
   std::function<void()> post_switch;   ///< publish action; see file comment
   Continuation next;                   ///< immediate-run slot
   WorkerStats stats;
+  obs::TraceRing* trace = nullptr;     ///< this worker's event ring
   Xoshiro256 rng;
 
   /// Scheduler-private per-worker state (owned by the scheduler).

@@ -31,7 +31,7 @@ IoReactor::IoReactor(Runtime& rt, int num_threads) : rt_(rt) {
 
   threads_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { io_thread_main(); });
+    threads_.emplace_back([this, i] { io_thread_main(i); });
   }
 }
 
@@ -81,6 +81,10 @@ bool IoReactor::try_op_inline(Op& op) {
 }
 
 void IoReactor::arm(std::unique_ptr<Op> op) {
+  // The op would block: it is leaving the submitting task's synchronous
+  // path. Recorded from the submitter side (worker ring, if any).
+  rt_.trace_event(obs::EventKind::kIoSubmit, obs::TraceEvent::kNoLevel16,
+                  static_cast<std::uint32_t>(op->fd));
   FdEntry* entry;
   {
     std::lock_guard<std::mutex> g(fds_mu_);
@@ -215,7 +219,7 @@ ssize_t IoReactor::write_all(int fd, const void* buf, std::size_t len) {
 // I/O threads
 // ---------------------------------------------------------------------------
 
-int IoReactor::fire_timers() {
+int IoReactor::fire_timers(obs::TraceRing* ring) {
   std::vector<Ref<FutureState<void>>> due;
   int next_ms = -1;
   {
@@ -230,11 +234,16 @@ int IoReactor::fire_timers() {
       next_ms = static_cast<int>(delta / 1000000) + 1;
     }
   }
-  for (auto& f : due) f->complete();
+  for (auto& f : due) {
+    ICILK_TRACE_RECORD(ring, obs::EventKind::kTimerFire,
+                       obs::TraceEvent::kNoLevel16, 0);
+    f->complete();
+  }
   return next_ms;
 }
 
-void IoReactor::handle_event(int fd, std::uint32_t events) {
+void IoReactor::handle_event(int fd, std::uint32_t events,
+                             obs::TraceRing* ring) {
   FdEntry* entry;
   {
     std::lock_guard<std::mutex> g(fds_mu_);
@@ -278,15 +287,28 @@ void IoReactor::handle_event(int fd, std::uint32_t events) {
     }
     update_interest(fd, *entry);  // re-arm whatever remains (ONESHOT)
   }
-  if (done_rd) done_rd->fut->complete();
-  if (done_wr) done_wr->fut->complete();
+  if (done_rd) {
+    ICILK_TRACE_RECORD(ring, obs::EventKind::kIoComplete,
+                       obs::TraceEvent::kNoLevel16,
+                       static_cast<std::uint32_t>(fd));
+    done_rd->fut->complete();
+  }
+  if (done_wr) {
+    ICILK_TRACE_RECORD(ring, obs::EventKind::kIoComplete,
+                       obs::TraceEvent::kNoLevel16,
+                       static_cast<std::uint32_t>(fd));
+    done_wr->fut->complete();
+  }
 }
 
-void IoReactor::io_thread_main() {
+void IoReactor::io_thread_main(int thread_idx) {
+  // Each I/O thread is the single writer of its own trace ring.
+  obs::TraceRing* ring =
+      &rt_.trace_sink().acquire_ring("io" + std::to_string(thread_idx));
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (!stop_.load(std::memory_order_acquire)) {
-    const int timeout_ms = fire_timers();
+    const int timeout_ms = fire_timers(ring);
     const int n = ::epoll_wait(epfd_, events, kMaxEvents,
                                timeout_ms < 0 ? 100 : timeout_ms);
     if (n < 0) {
@@ -301,7 +323,7 @@ void IoReactor::io_thread_main() {
         }
         continue;
       }
-      handle_event(fd, events[i].events);
+      handle_event(fd, events[i].events, ring);
     }
   }
 }

@@ -120,10 +120,10 @@ class IoReactor {
   /// Parks the op in the fd's slot and (re)arms epoll interest.
   void arm(std::unique_ptr<Op> op);
   void update_interest(int fd, FdEntry& e);  // caller holds e.mu
-  void io_thread_main();
-  void handle_event(int fd, std::uint32_t events);
+  void io_thread_main(int thread_idx);
+  void handle_event(int fd, std::uint32_t events, obs::TraceRing* ring);
   /// Fires due timers; returns ms until the next one (or -1).
-  int fire_timers();
+  int fire_timers(obs::TraceRing* ring);
   void wake();
 
   Runtime& rt_;

@@ -194,6 +194,13 @@ bool RequestParser::next(Request& out) {
       return true;
     }
     case Verb::Stats:
+      // `stats [subcommand]` — keep the subcommand tokens so the server
+      // can serve scoped stat groups (e.g. "stats icilk").
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        r.keys.emplace_back(toks[i]);
+      }
+      out = std::move(r);
+      return true;
     case Verb::FlushAll:
     case Verb::Version:
     case Verb::Quit:

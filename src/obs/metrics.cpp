@@ -1,0 +1,84 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace icilk::obs {
+
+MetricsRegistry::MetricsRegistry(int num_levels)
+    : num_levels_(num_levels < 1 ? 1
+                                 : (num_levels > kMaxLevels ? kMaxLevels
+                                                            : num_levels)),
+      levels_(static_cast<std::size_t>(num_levels_)) {}
+
+bool MetricsRegistry::PerLevel::any_activity() const noexcept {
+  for (const auto& c : counts) {
+    if (c.load(std::memory_order_relaxed) != 0) return true;
+  }
+  return promptness_ns.count() != 0 || aging_ns.count() != 0;
+}
+
+std::uint64_t MetricsRegistry::counter_total(EventKind k) const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& l : levels_) {
+    sum += l.counts[static_cast<int>(k)].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& o) {
+  const int n = num_levels_ < o.num_levels_ ? num_levels_ : o.num_levels_;
+  for (int level = 0; level < n; ++level) {
+    for (int k = 0; k < static_cast<int>(EventKind::kCount); ++k) {
+      levels_[level].counts[k].fetch_add(
+          o.levels_[level].counts[k].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    levels_[level].promptness_ns.merge(o.levels_[level].promptness_ns);
+    levels_[level].aging_ns.merge(o.levels_[level].aging_ns);
+  }
+}
+
+void MetricsRegistry::reset() {
+  for (auto& l : levels_) {
+    for (auto& c : l.counts) c.store(0, std::memory_order_relaxed);
+    l.pending_since_ns.store(0, std::memory_order_relaxed);
+    l.promptness_ns.reset();
+    l.aging_ns.reset();
+  }
+}
+
+std::string MetricsRegistry::text(const std::string& prefix,
+                                  const std::string& eol) const {
+  std::string out;
+  char buf[160];
+  auto line = [&](int level, const char* name, std::uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "STAT %sl%d_%s %llu", prefix.c_str(),
+                  level, name, static_cast<unsigned long long>(v));
+    out += buf;
+    out += eol;
+  };
+  for (int level = 0; level < num_levels_; ++level) {
+    const PerLevel& l = levels_[level];
+    if (!l.any_activity()) continue;
+    line(level, "steals", counter(EventKind::kSteal, level));
+    line(level, "mugs", counter(EventKind::kMug, level));
+    line(level, "abandons", counter(EventKind::kAbandon, level));
+    line(level, "resumes", counter(EventKind::kResume, level));
+    line(level, "suspends", counter(EventKind::kSuspend, level));
+    if (l.promptness_ns.count() != 0) {
+      line(level, "prompt_count", l.promptness_ns.count());
+      line(level, "prompt_p50_us", l.promptness_ns.percentile_ns(0.5) / 1000);
+      line(level, "prompt_p99_us", l.promptness_ns.percentile_ns(0.99) / 1000);
+      line(level, "prompt_max_us", l.promptness_ns.max_ns() / 1000);
+    }
+    if (l.aging_ns.count() != 0) {
+      line(level, "aging_count", l.aging_ns.count());
+      line(level, "aging_p50_us", l.aging_ns.percentile_ns(0.5) / 1000);
+      line(level, "aging_p99_us", l.aging_ns.percentile_ns(0.99) / 1000);
+      line(level, "aging_max_us", l.aging_ns.max_ns() / 1000);
+    }
+  }
+  return out;
+}
+
+}  // namespace icilk::obs

@@ -1,0 +1,136 @@
+// Per-priority-level metrics registry (the observability layer's
+// always-on aggregates; the trace ring is the opt-in raw feed).
+//
+// Three quantities the paper's §5 evaluation reasons about but the seed
+// could not observe at runtime:
+//
+//   promptness response latency — the moment level k's bitfield bit goes
+//       0 -> 1 (work appeared at an empty level) until the first worker
+//       acquires work at k. This is the end-to-end cost of the promptness
+//       mechanism (bit set, condvar wake, pool pop, mug/steal).
+//   aging delay — a deque becomes Resumable until a thief mugs (resumes)
+//       it. FIFO pool order bounds this; the histogram shows by how much.
+//   per-level event counters — steals / mugs / abandons / resumes / I/O
+//       completions, sliced by priority level (WorkerStats aggregates per
+//       worker; interactive-vs-background analysis needs the level axis).
+//
+// Costs: counters are relaxed fetch_adds on paths that already synchronize
+// (steal/mug/abandon), histograms are lock-free per-bucket increments
+// (src/load/histogram.hpp), and the promptness stamp is written only on
+// the empty -> non-empty transition of a level. Nothing here runs on the
+// spawn fast path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "concurrent/clock.hpp"
+#include "load/histogram.hpp"
+#include "obs/trace.hpp"  // EventKind taxonomy
+
+namespace icilk::obs {
+
+class MetricsRegistry {
+ public:
+  static constexpr int kMaxLevels = 64;
+
+  explicit MetricsRegistry(int num_levels = kMaxLevels);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  int num_levels() const noexcept { return num_levels_; }
+
+  // ---- per-level event counters ----
+
+  void count(EventKind k, int level) noexcept {
+    if (!in_range(level)) return;
+    levels_[level].counts[static_cast<int>(k)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  std::uint64_t counter(EventKind k, int level) const noexcept {
+    if (!in_range(level)) return 0;
+    return levels_[level].counts[static_cast<int>(k)].load(
+        std::memory_order_relaxed);
+  }
+  /// Sum of one counter across levels.
+  std::uint64_t counter_total(EventKind k) const noexcept;
+
+  // ---- promptness response latency ----
+
+  /// Level k's bit went 0 -> 1: stamp the transition (first one wins; the
+  /// stamp is consumed by the next acquisition at k).
+  void note_level_nonempty(int level) noexcept {
+    if (!in_range(level)) return;
+    std::uint64_t expected = 0;
+    levels_[level].pending_since_ns.compare_exchange_strong(
+        expected, now_ns(), std::memory_order_relaxed,
+        std::memory_order_relaxed);
+  }
+
+  /// A worker acquired work at `level`: if a 0 -> 1 stamp is pending,
+  /// records (now - stamp) into the promptness histogram.
+  void note_level_acquired(int level) noexcept {
+    if (!in_range(level)) return;
+    const std::uint64_t t = levels_[level].pending_since_ns.exchange(
+        0, std::memory_order_relaxed);
+    if (t != 0) {
+      const std::uint64_t now = now_ns();
+      levels_[level].promptness_ns.record(now > t ? now - t : 0);
+    }
+  }
+
+  // ---- aging delay ----
+
+  void record_aging(int level, std::uint64_t delay_ns) noexcept {
+    if (!in_range(level)) return;
+    levels_[level].aging_ns.record(delay_ns);
+  }
+
+  // ---- direct recording (tests, merges) ----
+
+  void record_promptness(int level, std::uint64_t ns) noexcept {
+    if (!in_range(level)) return;
+    levels_[level].promptness_ns.record(ns);
+  }
+
+  const load::Histogram& promptness_hist(int level) const {
+    return levels_[level].promptness_ns;
+  }
+  const load::Histogram& aging_hist(int level) const {
+    return levels_[level].aging_ns;
+  }
+
+  /// Merges another registry (counters and histograms) into this one —
+  /// benches aggregate per-trial registries into a per-sweep one.
+  void merge_from(const MetricsRegistry& o);
+
+  void reset();
+
+  /// Renders the active levels as "STAT <prefix>l<k>_<name> <value>" lines
+  /// (memcached text-protocol style; `eol` is "\r\n" there, "\n" for
+  /// plain logs). Levels with no recorded activity are skipped.
+  std::string text(const std::string& prefix, const std::string& eol) const;
+
+ private:
+  struct PerLevel {
+    std::atomic<std::uint64_t> counts[static_cast<int>(EventKind::kCount)] =
+        {};
+    std::atomic<std::uint64_t> pending_since_ns{0};
+    load::Histogram promptness_ns;
+    load::Histogram aging_ns;
+
+    bool any_activity() const noexcept;
+  };
+
+  bool in_range(int level) const noexcept {
+    return level >= 0 && level < num_levels_;
+  }
+
+  int num_levels_;
+  std::vector<PerLevel> levels_;
+};
+
+}  // namespace icilk::obs

@@ -1,0 +1,147 @@
+// MetricsRegistry: per-level counters, the promptness stamp protocol,
+// aging histograms, cross-registry merge, and the stats-text rendering.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace icilk::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersArePerLevel) {
+  MetricsRegistry m(4);
+  m.count(EventKind::kSteal, 0);
+  m.count(EventKind::kSteal, 0);
+  m.count(EventKind::kSteal, 3);
+  m.count(EventKind::kMug, 1);
+
+  EXPECT_EQ(m.counter(EventKind::kSteal, 0), 2u);
+  EXPECT_EQ(m.counter(EventKind::kSteal, 3), 1u);
+  EXPECT_EQ(m.counter(EventKind::kSteal, 1), 0u);
+  EXPECT_EQ(m.counter(EventKind::kMug, 1), 1u);
+  EXPECT_EQ(m.counter_total(EventKind::kSteal), 3u);
+  EXPECT_EQ(m.counter_total(EventKind::kAbandon), 0u);
+}
+
+TEST(MetricsRegistry, OutOfRangeLevelsAreIgnored) {
+  MetricsRegistry m(2);
+  m.count(EventKind::kSteal, -1);
+  m.count(EventKind::kSteal, 2);
+  m.note_level_nonempty(7);
+  m.record_aging(99, 1000);
+  EXPECT_EQ(m.counter_total(EventKind::kSteal), 0u);
+  EXPECT_EQ(m.counter(EventKind::kSteal, -1), 0u);
+}
+
+TEST(MetricsRegistry, PromptnessStampProtocol) {
+  MetricsRegistry m(2);
+  // Acquire with no pending stamp: nothing recorded.
+  m.note_level_acquired(1);
+  EXPECT_EQ(m.promptness_hist(1).count(), 0u);
+
+  // 0 -> 1 transition stamps; the first acquire consumes it.
+  m.note_level_nonempty(1);
+  m.note_level_acquired(1);
+  EXPECT_EQ(m.promptness_hist(1).count(), 1u);
+
+  // A second acquire without a new transition records nothing more.
+  m.note_level_acquired(1);
+  EXPECT_EQ(m.promptness_hist(1).count(), 1u);
+
+  // Only the FIRST transition stamp wins until consumed.
+  m.note_level_nonempty(0);
+  m.note_level_nonempty(0);
+  m.note_level_acquired(0);
+  EXPECT_EQ(m.promptness_hist(0).count(), 1u);
+}
+
+TEST(MetricsRegistry, AgingAndDirectRecording) {
+  MetricsRegistry m(2);
+  m.record_aging(0, 5'000);
+  m.record_aging(0, 10'000);
+  m.record_promptness(1, 2'000'000);
+  EXPECT_EQ(m.aging_hist(0).count(), 2u);
+  EXPECT_GE(m.aging_hist(0).max_ns(), 10'000u);
+  EXPECT_EQ(m.promptness_hist(1).count(), 1u);
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAndHistograms) {
+  MetricsRegistry a(4);
+  MetricsRegistry b(4);
+  a.count(EventKind::kSteal, 1);
+  b.count(EventKind::kSteal, 1);
+  b.count(EventKind::kSteal, 1);
+  b.count(EventKind::kAbandon, 2);
+  a.record_promptness(1, 1'000'000);
+  b.record_promptness(1, 3'000'000);
+  b.record_aging(0, 500'000);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter(EventKind::kSteal, 1), 3u);
+  EXPECT_EQ(a.counter(EventKind::kAbandon, 2), 1u);
+  EXPECT_EQ(a.promptness_hist(1).count(), 2u);
+  EXPECT_EQ(a.aging_hist(0).count(), 1u);
+  // The merged histogram spans both inputs.
+  EXPECT_GE(a.promptness_hist(1).max_ns(), 3'000'000u);
+  EXPECT_GE(a.promptness_hist(1).percentile_ns(0.99), 2'000'000u);
+}
+
+TEST(MetricsRegistry, MergeTruncatesToSmallerRegistry) {
+  MetricsRegistry a(2);
+  MetricsRegistry b(8);
+  b.count(EventKind::kMug, 1);
+  b.count(EventKind::kMug, 5);  // beyond a's range; must not crash
+  a.merge_from(b);
+  EXPECT_EQ(a.counter(EventKind::kMug, 1), 1u);
+  EXPECT_EQ(a.counter_total(EventKind::kMug), 1u);
+}
+
+TEST(MetricsRegistry, ResetClearsEverything) {
+  MetricsRegistry m(2);
+  m.count(EventKind::kSteal, 0);
+  m.note_level_nonempty(0);
+  m.record_aging(1, 1000);
+  m.reset();
+  EXPECT_EQ(m.counter_total(EventKind::kSteal), 0u);
+  EXPECT_EQ(m.aging_hist(1).count(), 0u);
+  // The pending stamp is cleared too: an acquire records nothing.
+  m.note_level_acquired(0);
+  EXPECT_EQ(m.promptness_hist(0).count(), 0u);
+}
+
+TEST(MetricsRegistry, TextRendersOnlyActiveLevels) {
+  MetricsRegistry m(8);
+  EXPECT_EQ(m.text("icilk_", "\r\n"), "");
+
+  m.count(EventKind::kSteal, 1);
+  m.count(EventKind::kMug, 1);
+  m.record_promptness(1, 2'000'000);  // 2ms
+  const std::string t = m.text("icilk_", "\r\n");
+
+  EXPECT_NE(t.find("STAT icilk_l1_steals 1\r\n"), std::string::npos) << t;
+  EXPECT_NE(t.find("STAT icilk_l1_mugs 1\r\n"), std::string::npos) << t;
+  EXPECT_NE(t.find("STAT icilk_l1_prompt_count 1\r\n"), std::string::npos);
+  EXPECT_NE(t.find("icilk_l1_prompt_p99_us"), std::string::npos);
+  // Idle levels are skipped entirely.
+  EXPECT_EQ(t.find("_l0_"), std::string::npos) << t;
+  EXPECT_EQ(t.find("_l2_"), std::string::npos) << t;
+  // Every line is a well-formed "STAT name value" CRLF line.
+  std::size_t pos = 0;
+  while (pos < t.size()) {
+    const std::size_t eol = t.find("\r\n", pos);
+    ASSERT_NE(eol, std::string::npos);
+    EXPECT_EQ(t.compare(pos, 5, "STAT "), 0);
+    pos = eol + 2;
+  }
+}
+
+TEST(MetricsRegistry, LevelCountIsClamped) {
+  MetricsRegistry tiny(0);
+  EXPECT_EQ(tiny.num_levels(), 1);
+  MetricsRegistry huge(1000);
+  EXPECT_EQ(huge.num_levels(), MetricsRegistry::kMaxLevels);
+}
+
+}  // namespace
+}  // namespace icilk::obs
