@@ -1,0 +1,248 @@
+// Micro-benchmark: reactor submit→complete fast path.
+//
+// Measures throughput, per-op latency, and — via a counting global
+// operator new — heap allocations per op, for three op shapes:
+//
+//   inline  N tasks each own a pipe and read bytes that are already
+//           there (the no-epoll fast path).
+//   armed   N tasks in ping-pong pairs; reads usually park in the fd
+//           table and complete from an I/O thread.
+//   timer   N tasks issue short async sleeps through the sharded timers.
+//
+// Run twice to see what the freelists buy:
+//   ./bench/micro_reactor_ops            # pools on (default)
+//   ICILK_IO_POOL=0 ./bench/micro_reactor_ops
+//
+// Machine-readable RESULT lines are consumed by bench/run_baseline.sh.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/api.hpp"
+#include "core/prompt_scheduler.hpp"
+#include "io/reactor.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting global allocator: every heap allocation anywhere in the
+// process bumps g_allocs, so allocs/op covers the runtime and the I/O
+// threads, not just the bench loop. Frees are not counted.
+// ---------------------------------------------------------------------------
+
+static std::atomic<std::uint64_t> g_allocs{0};
+
+static void* counted_alloc(std::size_t sz) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t sz) { return counted_alloc(sz); }
+void* operator new[](std::size_t sz) { return counted_alloc(sz); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+void* operator new(std::size_t sz, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (::posix_memalign(&p, static_cast<std::size_t>(al), sz ? sz : 1) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t sz, std::align_val_t al) {
+  return operator new(sz, al);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using namespace icilk;
+using Clock = std::chrono::steady_clock;
+
+struct Fixture {
+  Fixture() {
+    RuntimeConfig cfg;
+    cfg.num_workers = 4;
+    cfg.num_io_threads = 2;
+    rt = std::make_unique<Runtime>(cfg, std::make_unique<PromptScheduler>());
+    reactor = std::make_unique<IoReactor>(*rt);
+  }
+  std::unique_ptr<Runtime> rt;
+  std::unique_ptr<IoReactor> reactor;
+};
+
+struct Row {
+  std::uint64_t ops = 0;
+  double secs = 0;
+  std::uint64_t allocs = 0;
+  PoolCountersSnapshot op_pool;
+  PoolCountersSnapshot fut_pool;
+};
+
+/// Runs `body` (which performs `ops` reactor ops) with alloc/pool
+/// counters snapshotted around it.
+template <typename Body>
+Row measure(std::uint64_t ops, Body&& body) {
+  const auto op0 = IoReactor::op_pool_stats();
+  const auto fut0 = IoReactor::future_pool_stats();
+  const auto a0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  body();
+  const auto t1 = Clock::now();
+  Row r;
+  r.ops = ops;
+  r.secs = std::chrono::duration<double>(t1 - t0).count();
+  r.allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+  const auto op1 = IoReactor::op_pool_stats();
+  const auto fut1 = IoReactor::future_pool_stats();
+  r.op_pool = {op1.hits - op0.hits, op1.misses - op0.misses,
+               op1.recycled - op0.recycled};
+  r.fut_pool = {fut1.hits - fut0.hits, fut1.misses - fut0.misses,
+                fut1.recycled - fut0.recycled};
+  return r;
+}
+
+void report(const char* mode, int threads, const Row& r, bool pools_on) {
+  const double ops_per_s = r.ops / r.secs;
+  const double ns_per_op = 1e9 * r.secs / static_cast<double>(r.ops);
+  const double allocs_per_op =
+      static_cast<double>(r.allocs) / static_cast<double>(r.ops);
+  std::printf("%-8s %-4d %12.0f %10.1f %12.4f %10.4f %10.4f\n", mode,
+              threads, ops_per_s, ns_per_op, allocs_per_op,
+              r.op_pool.hit_rate(), r.fut_pool.hit_rate());
+  std::printf(
+      "RESULT mode=%s threads=%d ops=%llu ops_per_s=%.0f ns_per_op=%.1f "
+      "allocs_per_op=%.4f op_pool_hit_rate=%.4f fut_pool_hit_rate=%.4f "
+      "pool=%s\n",
+      mode, threads, static_cast<unsigned long long>(r.ops), ops_per_s,
+      ns_per_op, allocs_per_op, r.op_pool.hit_rate(), r.fut_pool.hit_rate(),
+      pools_on ? "on" : "off");
+}
+
+/// inline mode: each task writes then immediately reads its own pipe, so
+/// every read finds data and completes without touching epoll.
+void run_inline(Fixture& fx, int threads, std::uint64_t rounds) {
+  std::vector<Future<void>> fs;
+  std::vector<std::array<int, 2>> pipes(threads);
+  for (auto& p : pipes) {
+    if (::pipe2(p.data(), O_NONBLOCK | O_CLOEXEC) != 0) std::abort();
+  }
+  for (int t = 0; t < threads; ++t) {
+    fs.push_back(fx.rt->submit(0, [&fx, fd = pipes[t], rounds] {
+      char c = 'i';
+      for (std::uint64_t i = 0; i < rounds; ++i) {
+        if (fx.reactor->write_all(fd[1], &c, 1) != 1) std::abort();
+        if (fx.reactor->read_some(fd[0], &c, 1) != 1) std::abort();
+      }
+    }));
+  }
+  for (auto& f : fs) f.get();
+  for (auto& p : pipes) {
+    fx.reactor->close_fd(p[0]);
+    fx.reactor->close_fd(p[1]);
+  }
+}
+
+/// armed mode: ping-pong pairs; each read waits for the partner's write,
+/// so ops park in the fd table and complete from an I/O thread.
+void run_armed(Fixture& fx, int threads, std::uint64_t rounds) {
+  const int pairs = threads / 2;
+  std::vector<Future<void>> fs;
+  std::vector<std::array<int, 2>> pipes;
+  for (int p = 0; p < pairs; ++p) {
+    std::array<int, 2> ab, ba;
+    if (::pipe2(ab.data(), O_NONBLOCK | O_CLOEXEC) != 0) std::abort();
+    if (::pipe2(ba.data(), O_NONBLOCK | O_CLOEXEC) != 0) std::abort();
+    pipes.push_back(ab);
+    pipes.push_back(ba);
+    fs.push_back(fx.rt->submit(0, [&fx, wr = ab[1], rd = ba[0], rounds] {
+      char c = 'a';
+      for (std::uint64_t i = 0; i < rounds; ++i) {
+        if (fx.reactor->write_all(wr, &c, 1) != 1) std::abort();
+        if (fx.reactor->read_some(rd, &c, 1) != 1) std::abort();
+      }
+    }));
+    fs.push_back(fx.rt->submit(0, [&fx, rd = ab[0], wr = ba[1], rounds] {
+      char c;
+      for (std::uint64_t i = 0; i < rounds; ++i) {
+        if (fx.reactor->read_some(rd, &c, 1) != 1) std::abort();
+        if (fx.reactor->write_all(wr, &c, 1) != 1) std::abort();
+      }
+    }));
+  }
+  for (auto& f : fs) f.get();
+  for (auto& p : pipes) {
+    fx.reactor->close_fd(p[0]);
+    fx.reactor->close_fd(p[1]);
+  }
+}
+
+/// timer mode: concurrent short sleeps through the sharded timer heaps.
+void run_timer(Fixture& fx, int threads, std::uint64_t rounds) {
+  std::vector<Future<void>> fs;
+  for (int t = 0; t < threads; ++t) {
+    fs.push_back(fx.rt->submit(0, [&fx, rounds] {
+      for (std::uint64_t i = 0; i < rounds; ++i) {
+        fx.reactor->sleep_for(std::chrono::microseconds(50));
+      }
+    }));
+  }
+  for (auto& f : fs) f.get();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = (argc > 1) ? std::atof(argv[1]) : 1.0;
+  const bool pools_on = icilk::io_pools_enabled();
+  std::printf("reactor fast-path micro-bench (pools %s)\n",
+              pools_on ? "ON" : "OFF  [ICILK_IO_POOL=0]");
+  std::printf("%-8s %-4s %12s %10s %12s %10s %10s\n", "mode", "thr",
+              "ops/s", "ns/op", "allocs/op", "op_hit", "fut_hit");
+
+  Fixture fx;
+
+  const auto inline_rounds = static_cast<std::uint64_t>(50000 * scale);
+  const auto armed_rounds = static_cast<std::uint64_t>(20000 * scale);
+  const auto timer_rounds = static_cast<std::uint64_t>(2000 * scale);
+
+  // Warm up pools and worker caches before any measured window.
+  run_inline(fx, 4, 2000);
+  run_armed(fx, 4, 2000);
+  run_timer(fx, 4, 200);
+
+  for (const int threads : {1, 4, 8}) {
+    // 2 ops per round (write + read), per task.
+    const std::uint64_t ops = 2 * inline_rounds * threads;
+    const Row r = measure(ops, [&] { run_inline(fx, threads, inline_rounds); });
+    report("inline", threads, r, pools_on);
+  }
+  for (const int threads : {2, 4, 8}) {
+    const std::uint64_t ops =
+        2 * armed_rounds * static_cast<std::uint64_t>(threads);
+    const Row r = measure(ops, [&] { run_armed(fx, threads, armed_rounds); });
+    report("armed", threads, r, pools_on);
+  }
+  for (const int threads : {4, 8}) {
+    const std::uint64_t ops = timer_rounds * threads;
+    const Row r = measure(ops, [&] { run_timer(fx, threads, timer_rounds); });
+    report("timer", threads, r, pools_on);
+  }
+  return 0;
+}

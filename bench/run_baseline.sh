@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Captures a performance baseline for regression tracking: the fig1
+# memcached p99 sweep plus the reactor fast-path micro-bench with the
+# freelists on and off. Emits BENCH_<date>.json in the repo root.
+#
+# Usage: bench/run_baseline.sh [build-dir] [fig1-duration-seconds]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+FIG1_DURATION="${2:-1.0}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$(cd "$REPO_ROOT" && cd "$BUILD_DIR" && pwd)"
+OUT="$REPO_ROOT/BENCH_$(date +%Y%m%d).json"
+
+FIG1="$BUILD_DIR/bench/fig1_memcached_p99"
+MICRO="$BUILD_DIR/bench/micro_reactor_ops"
+for bin in "$FIG1" "$MICRO"; do
+  [ -x "$bin" ] || { echo "missing $bin — build first" >&2; exit 1; }
+done
+
+fig1_out=$(mktemp)
+micro_on=$(mktemp)
+micro_off=$(mktemp)
+trap 'rm -f "$fig1_out" "$micro_on" "$micro_off"' EXIT
+
+echo "== fig1 (duration ${FIG1_DURATION}s per point) =="
+"$FIG1" "$FIG1_DURATION" | tee "$fig1_out"
+echo "== micro_reactor_ops (pools on) =="
+"$MICRO" | tee "$micro_on"
+echo "== micro_reactor_ops (pools off) =="
+ICILK_IO_POOL=0 "$MICRO" | tee "$micro_off"
+
+# fig1 rows: "<scheduler> <rps> <p99ms> <p95ms> <n> <err>"
+fig1_json() {
+  awk '$2 ~ /^[0-9.]+$/ && $3 ~ /^[0-9.]+$/ && NF >= 6 {
+    printf "%s{\"scheduler\":\"%s\",\"rps\":%s,\"p99_ms\":%s,\"p95_ms\":%s,\"completed\":%s,\"errors\":%s}",
+      sep, $1, $2, $3, $4, $5, $6; sep=","
+  }' "$1"
+}
+
+# micro rows: "RESULT mode=... threads=... ... k=v ..."
+micro_json() {
+  awk '/^RESULT / {
+    printf "%s{", sep; sep=","
+    fsep=""
+    for (i = 2; i <= NF; i++) {
+      split($i, kv, "=")
+      v = kv[2]
+      if (v ~ /^[0-9.]+$/) printf "%s\"%s\":%s", fsep, kv[1], v
+      else printf "%s\"%s\":\"%s\"", fsep, kv[1], v
+      fsep=","
+    }
+    printf "}"
+  }' "$1"
+}
+
+GIT_SHA=$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+{
+  echo "{"
+  echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+  echo "  \"git_sha\": \"$GIT_SHA\","
+  echo "  \"host_cores\": $(nproc),"
+  echo "  \"fig1_duration_s\": $FIG1_DURATION,"
+  echo "  \"fig1\": [$(fig1_json "$fig1_out")],"
+  echo "  \"micro_reactor_pools_on\": [$(micro_json "$micro_on")],"
+  echo "  \"micro_reactor_pools_off\": [$(micro_json "$micro_off")]"
+  echo "}"
+} > "$OUT"
+
+echo "wrote $OUT"

@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -57,13 +58,23 @@ void ICilkMcServer::untrack(int fd) {
 // ---------------------------------------------------------------------------
 
 void ICilkMcServer::acceptor_routine() {
+  // Persistent accept errors (EMFILE/ENFILE under fd exhaustion) would
+  // otherwise spin this task — and its worker — at full speed re-failing
+  // the same syscall. Back off with a reactor sleep (which yields the
+  // worker to real work) and ramp the delay while the error persists.
+  auto backoff = std::chrono::milliseconds(1);
   for (;;) {
     const ssize_t cfd = reactor_->accept(listen_fd_);
     if (stop_.load(std::memory_order_acquire)) {
       if (cfd >= 0) ::close(static_cast<int>(cfd));
       return;
     }
-    if (cfd < 0) continue;  // transient accept error
+    if (cfd < 0) {
+      reactor_->sleep_for(backoff);
+      backoff = std::min(backoff * 2, std::chrono::milliseconds(100));
+      continue;
+    }
+    backoff = std::chrono::milliseconds(1);
     net::set_nodelay(static_cast<int>(cfd));
     track(static_cast<int>(cfd));
     // Each connection becomes a future routine: the scheduler
@@ -112,7 +123,10 @@ void ICilkMcServer::connection_routine(int fd) {
     }
     if (!keep) break;  // quit command
   }
-  ::close(fd);
+  // close_fd (not a bare ::close): cancels anything still armed and bumps
+  // the fd-slot generation, so the number can be reused by the next
+  // connection without inheriting stale state.
+  reactor_->close_fd(fd);
   untrack(fd);
 }
 
@@ -188,6 +202,34 @@ std::string ICilkMcServer::icilk_stats_text() const {
   add_s("waste_s", s.waste_s);
   add("io_ops_submitted", reactor_->ops_submitted_for_test());
   add("io_ops_inline", reactor_->ops_inline_for_test());
+  // I/O fast-path counters: recycling pools, fd table, timer shards,
+  // stack cache (PR 2; the fd/timer counters come via metrics().text()).
+  const auto add_pool = [&](const char* which, PoolCountersSnapshot p) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s_pool_hits", which);
+    add(name, p.hits);
+    std::snprintf(name, sizeof(name), "%s_pool_misses", which);
+    add(name, p.misses);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "STAT icilk_%s_pool_hit_rate %.4f\r\n",
+                  which, p.hit_rate());
+    out += buf;
+  };
+  add_pool("io_op", IoReactor::op_pool_stats());
+  add_pool("fut", IoReactor::future_pool_stats());
+  const auto stk = rt_->stack_pool().cache_stats();
+  add("stack_local_hits", stk.local_hits);
+  add("stack_global_hits", stk.global_hits);
+  add("stack_misses", stk.misses);
+  {
+    const auto depths = reactor_->timer_shard_depths();
+    for (std::size_t i = 0; i < depths.size(); ++i) {
+      if (depths[i] != 0) {
+        out += "STAT icilk_io_timer_depth_s" + std::to_string(i) + " " +
+               std::to_string(depths[i]) + "\r\n";
+      }
+    }
+  }
   for (int k = 0; k < cfg_.rt.num_levels; ++k) {
     const std::int64_t c = rt_->census(static_cast<Priority>(k));
     if (c != 0) {

@@ -13,6 +13,14 @@
 #include <type_traits>
 #include <utility>
 
+#ifndef ICILK_HAS_FEATURE
+#if defined(__has_feature)
+#define ICILK_HAS_FEATURE(x) __has_feature(x)
+#else
+#define ICILK_HAS_FEATURE(x) 0
+#endif
+#endif
+
 namespace icilk {
 
 /// Base class for intrusively reference-counted types.
@@ -30,6 +38,12 @@ class RefCounted {
   /// Returns true when this call dropped the last reference; the caller
   /// must then delete the object.
   bool ref_dec() const noexcept {
+#if defined(__SANITIZE_THREAD__) || ICILK_HAS_FEATURE(thread_sanitizer)
+    // TSan does not model atomic_thread_fence, so the fence idiom below
+    // reports false races on destructor reads. acq_rel on the decrement
+    // expresses the same ordering in a way TSan tracks.
+    return count_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+#else
     // Release on decrement + acquire fence on the final drop orders all
     // prior writes to the object before its destruction.
     if (count_.fetch_sub(1, std::memory_order_release) == 1) {
@@ -37,6 +51,7 @@ class RefCounted {
       return true;
     }
     return false;
+#endif
   }
 
   std::uint32_t ref_count_for_test() const noexcept {

@@ -1,0 +1,94 @@
+// SmallFn — a move-only callable with fixed inline storage and NO heap
+// fallback: a capture set larger than `Cap` is a compile error, not a
+// silent malloc. Used on the fiber park path (Worker::post_switch), which
+// runs once per task suspension — with std::function the publish closure's
+// captures routinely exceeded the 16-byte SBO and turned every armed I/O
+// op into a heap allocation.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace icilk {
+
+template <std::size_t Cap>
+class SmallFn {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn>>>
+  SmallFn(F&& f) {  // NOLINT: implicit, like std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Cap,
+                  "callable captures exceed SmallFn capacity; grow Cap");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned callables are not supported");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    vt_ = vtable_for<Fn>();
+  }
+
+  SmallFn(SmallFn&& o) noexcept { move_from(o); }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* src, void* dst);  // move-construct + destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static const VTable* vtable_for() {
+    static constexpr VTable vt = {
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* src, void* dst) {
+          Fn* s = static_cast<Fn*>(src);
+          ::new (dst) Fn(std::move(*s));
+          s->~Fn();
+        },
+        [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+    };
+    return &vt;
+  }
+
+  void move_from(SmallFn& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(o.buf_, buf_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Cap];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace icilk

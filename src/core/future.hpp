@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "concurrent/objpool.hpp"
 #include "concurrent/ref.hpp"
 #include "concurrent/spinlock.hpp"
 #include "core/types.hpp"
@@ -30,6 +31,16 @@ namespace icilk {
 
 class FutureStateBase : public RefCounted {
  public:
+  /// Future states churn once per I/O operation and once per routine, so
+  /// they allocate from the recycling size-class pool: steady-state I/O
+  /// submits nothing to malloc. Sized deallocation through the virtual
+  /// destructor routes each concrete state back to its own size class;
+  /// oversized value types fall through to the global allocator.
+  static void* operator new(std::size_t sz) { return sized_pool_alloc(sz); }
+  static void operator delete(void* p, std::size_t sz) noexcept {
+    sized_pool_free(p, sz);
+  }
+
   explicit FutureStateBase(Runtime& rt) : rt_(&rt) {}
   /// Runtime-less state: only EXTERNAL (non-task) waits are allowed —
   /// add_waiter asserts. Used by sync primitives when the waiter is a
@@ -71,7 +82,12 @@ class FutureStateBase : public RefCounted {
   Runtime* rt_;
   std::atomic<bool> ready_{false};
   SpinLock mu_;
-  std::vector<Deque*> waiters_;  // each entry holds one reference
+  // Waiter list: the overwhelmingly common case is exactly one waiter (the
+  // task that issued the I/O), so the first one lives inline and only a
+  // second concurrent waiter touches the heap. Each entry holds one
+  // reference.
+  Deque* first_waiter_ = nullptr;
+  std::vector<Deque*> extra_waiters_;
   std::exception_ptr error_;
   std::atomic<bool> has_external_waiter_{false};
 

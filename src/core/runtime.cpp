@@ -139,7 +139,7 @@ void Runtime::run_next(Worker& w) {
   }
 }
 
-void Runtime::park_current(std::function<void()> publish) {
+void Runtime::park_current(PostSwitchFn publish) {
   Worker* w = this_worker();
   assert(w != nullptr && w->current != nullptr);
   assert(!w->post_switch && "nested park publish");
@@ -424,14 +424,20 @@ void future_wait(FutureStateBase& st) {
 }
 
 FutureStateBase::~FutureStateBase() {
-  for (Deque* d : waiters_) Ref<Deque>::adopt(d);  // drop leftover refs
+  // Drop leftover waiter references.
+  if (first_waiter_ != nullptr) Ref<Deque>::adopt(first_waiter_);
+  for (Deque* d : extra_waiters_) Ref<Deque>::adopt(d);
 }
 
 bool FutureStateBase::add_waiter(Ref<Deque> d) {
   assert(rt_ != nullptr && "runtime-less future cannot suspend deques");
   LockGuard<SpinLock> g(mu_);
   if (ready_.load(std::memory_order_relaxed)) return false;
-  waiters_.push_back(d.release());
+  if (first_waiter_ == nullptr) {
+    first_waiter_ = d.release();
+  } else {
+    extra_waiters_.push_back(d.release());
+  }
   return true;
 }
 
@@ -442,18 +448,22 @@ std::condition_variable g_orphan_wait_cv;
 }  // namespace
 
 void FutureStateBase::complete() {
-  std::vector<Deque*> waiters;
+  Deque* first = nullptr;
+  std::vector<Deque*> extra;
   {
     LockGuard<SpinLock> g(mu_);
     assert(!ready_.load(std::memory_order_relaxed) && "double completion");
     ready_.store(true, std::memory_order_seq_cst);
-    waiters.swap(waiters_);
+    first = std::exchange(first_waiter_, nullptr);
+    extra.swap(extra_waiters_);
   }
-  for (Deque* raw : waiters) {
+  const auto wake = [this](Deque* raw) {
     auto d = Ref<Deque>::adopt(raw);
     d->make_resumable();
     rt_->resumable(std::move(d));
-  }
+  };
+  if (first != nullptr) wake(first);
+  for (Deque* raw : extra) wake(raw);
   if (has_external_waiter_.load(std::memory_order_acquire)) {
     if (rt_ != nullptr) {
       rt_->notify_external();

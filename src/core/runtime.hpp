@@ -99,8 +99,9 @@ class Runtime {
 
   /// Parks the calling fiber; `publish` runs on the worker's scheduler
   /// context immediately after the switch and is the ONLY place allowed to
-  /// make the parked fiber visible to other threads.
-  void park_current(std::function<void()> publish);
+  /// make the parked fiber visible to other threads. PostSwitchFn stores
+  /// its captures inline, so parking never allocates.
+  void park_current(PostSwitchFn publish);
 
   /// Routes a freshly-Resumable deque to the scheduler (any thread).
   void resumable(Ref<Deque> d);
@@ -156,6 +157,11 @@ class Runtime {
   void notify_external();
 
   Worker& worker_for_test(int i) { return *workers_[i]; }
+
+  /// The fiber stack pool (sharded per-worker caches; see fiber/stack.hpp).
+  /// Exposed for the `stats icilk` surface and benches.
+  StackPool& stack_pool() noexcept { return stacks_; }
+  const StackPool& stack_pool() const noexcept { return stacks_; }
 
  private:
   friend class FutureStateBase;

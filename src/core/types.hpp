@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "concurrent/smallfn.hpp"
+
 namespace icilk {
 
 /// Priority level of a task: 0..63, HIGHER value = MORE urgent. This
@@ -16,6 +18,13 @@ inline constexpr Priority kDefaultPriority = 0;
 
 /// A unit of user work.
 using Closure = std::function<void()>;
+
+/// The publish callback a parking fiber leaves in Worker::post_switch.
+/// Inline-only storage: parking happens once per suspension (every armed
+/// I/O op), so this must never allocate. 64 bytes covers the largest
+/// capture set (spawn's parked continuation: this + fiber + Closure + Ref
+/// + priority); anything bigger fails to compile.
+using PostSwitchFn = SmallFn<64>;
 
 class Runtime;
 class Worker;

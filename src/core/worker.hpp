@@ -41,7 +41,7 @@ class Worker {
   Context sched_ctx;                   ///< native-thread context save slot
   Ref<Deque> active;                   ///< current active deque (may be null)
   TaskFiber* current = nullptr;        ///< fiber being executed
-  std::function<void()> post_switch;   ///< publish action; see file comment
+  PostSwitchFn post_switch;            ///< publish action; see file comment
   Continuation next;                   ///< immediate-run slot
   WorkerStats stats;
   obs::TraceRing* trace = nullptr;     ///< this worker's event ring

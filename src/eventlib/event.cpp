@@ -71,11 +71,44 @@ Event* EventBase::new_event(int fd, short what, Event::Callback cb) {
 
 void EventBase::free_event(Event* ev) {
   ev->del();
+  // Purge timer heap entries that point at the dying event: the staleness
+  // check in run_timers dereferences TimerRef::ev, which must not dangle.
+  if (!timers_.empty()) {
+    std::vector<TimerRef> keep;
+    keep.reserve(timers_.size());
+    while (!timers_.empty()) {
+      if (timers_.top().ev != ev) keep.push_back(timers_.top());
+      timers_.pop();
+    }
+    timers_ = decltype(timers_)(std::greater<TimerRef>(), std::move(keep));
+  }
+  if (ev == in_callback_) {
+    // Freed from its own callback: destroying the Event now would destroy
+    // the std::function currently executing. run_callback erases it once
+    // the callback returns.
+    free_deferred_ = true;
+    return;
+  }
+  erase_owned(ev);
+}
+
+void EventBase::erase_owned(Event* ev) {
   for (auto it = owned_.begin(); it != owned_.end(); ++it) {
     if (it->get() == ev) {
       owned_.erase(it);
       return;
     }
+  }
+}
+
+void EventBase::run_callback(Event* ev, int fd, short what) {
+  ++dispatched_;
+  in_callback_ = ev;
+  ev->cb_(fd, what);
+  in_callback_ = nullptr;
+  if (free_deferred_) {
+    free_deferred_ = false;
+    erase_owned(ev);
   }
 }
 
@@ -121,8 +154,7 @@ int EventBase::run_timers() {
     } else {
       ev->del();
     }
-    ++dispatched_;
-    ev->cb_(ev->fd(), kTimeout);
+    run_callback(ev, ev->fd(), kTimeout);
     if (stop_.load(std::memory_order_acquire)) return -1;
   }
 }
@@ -160,8 +192,7 @@ void EventBase::dispatch() {
       what = static_cast<short>(what & (ev->interest() | kRead));
       if (what == 0) continue;
       if (!(ev->interest() & kPersist)) ev->del();
-      ++dispatched_;
-      ev->cb_(fd, what);
+      run_callback(ev, fd, what);
     }
   }
 }

@@ -109,6 +109,11 @@ class EventBase {
 
   void update_epoll(Event* ev, bool want);
   int run_timers();  // fires due timers; returns ms to next (-1 = none)
+  /// Invokes ev's callback with self-free deferral: a callback may call
+  /// free_event on its own event (libevent idiom), which must not destroy
+  /// the closure while it is executing.
+  void run_callback(Event* ev, int fd, short what);
+  void erase_owned(Event* ev);
 
   int epfd_ = -1;
   int wake_fd_ = -1;
@@ -118,6 +123,8 @@ class EventBase {
   std::priority_queue<TimerRef, std::vector<TimerRef>, std::greater<TimerRef>>
       timers_;
   std::uint64_t dispatched_ = 0;
+  Event* in_callback_ = nullptr;  // event whose callback is running
+  bool free_deferred_ = false;    // that event freed itself; erase after
 };
 
 }  // namespace icilk::ev

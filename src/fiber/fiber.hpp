@@ -31,11 +31,37 @@ void icilk_fiber_entry_thunk();
 void icilk_fiber_entry(void* fiber);  // defined in fiber.cpp
 }
 
+// ThreadSanitizer cannot follow a raw stack-pointer swap: without being
+// told, it keeps the old thread's shadow stack and either crashes inside
+// libtsan or reports bogus races. Its fiber API gives every stack its own
+// shadow context; switch_context announces each transfer.
+#ifndef ICILK_HAS_FEATURE
+#if defined(__has_feature)
+#define ICILK_HAS_FEATURE(x) __has_feature(x)
+#else
+#define ICILK_HAS_FEATURE(x) 0
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__) || ICILK_HAS_FEATURE(thread_sanitizer)
+#define ICILK_TSAN_FIBERS 1
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#else
+#define ICILK_TSAN_FIBERS 0
+#endif
+
 namespace icilk {
 
 /// A bare saved context: either a fiber's or an OS thread's native stack.
 struct Context {
   void* sp = nullptr;
+#if ICILK_TSAN_FIBERS
+  void* tsan = nullptr;  ///< TSan shadow context for this stack
+#endif
 };
 
 class Fiber {
@@ -44,7 +70,20 @@ class Fiber {
 
   /// Creates a fiber over `stack` (takes ownership). The fiber is inert
   /// until prepare() is called.
-  explicit Fiber(Stack&& stack) : stack_(std::move(stack)) {}
+  explicit Fiber(Stack&& stack) : stack_(std::move(stack)) {
+#if ICILK_TSAN_FIBERS
+    ctx_.tsan = __tsan_create_fiber(0);
+#endif
+  }
+
+#if ICILK_TSAN_FIBERS
+  // Only fiber-owned shadow contexts are destroyed here; a Context saved
+  // for an OS thread's native stack holds the thread's own TSan fiber,
+  // which libtsan manages.
+  ~Fiber() {
+    if (ctx_.tsan != nullptr) __tsan_destroy_fiber(ctx_.tsan);
+  }
+#endif
 
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
@@ -84,6 +123,14 @@ class Fiber {
 /// back, control returns here with `from` restored.
 inline void switch_context(Context& from, const Context& to) {
   assert(to.sp != nullptr);
+#if ICILK_TSAN_FIBERS
+  // Record which shadow context is live in `from` (for a native thread
+  // context this is the only place it gets captured), then hand TSan the
+  // destination's before the raw switch. Flag 0 = establish
+  // happens-before between the two contexts, matching real control flow.
+  from.tsan = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(to.tsan, 0);
+#endif
   icilk_ctx_switch(&from.sp, to.sp);
 }
 

@@ -5,7 +5,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <utility>
+
+#include "concurrent/objpool.hpp"
 
 namespace icilk {
 
@@ -64,29 +67,75 @@ void* Stack::top() const noexcept {
   return static_cast<char*>(base_) + mapped_;
 }
 
+namespace {
+
+std::size_t num_shards() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  std::size_t n = hc == 0 ? 8 : static_cast<std::size_t>(hc) * 2;
+  if (n < 8) n = 8;
+  if (n > 128) n = 128;
+  return n;
+}
+
+}  // namespace
+
+StackPool::StackPool(std::size_t stack_size, std::size_t max_cached)
+    : stack_size_(stack_size),
+      max_cached_(max_cached),
+      shards_(num_shards()) {}
+
+StackPool::Shard& StackPool::my_shard() noexcept {
+  return shards_[static_cast<std::size_t>(thread_ordinal()) %
+                 shards_.size()];
+}
+
 Stack StackPool::get() {
+  Shard& sh = my_shard();
+  {
+    LockGuard<SpinLock> g(sh.mu);
+    if (!sh.free.empty()) {
+      Stack s = std::move(sh.free.back());
+      sh.free.pop_back();
+      cached_.fetch_sub(1, std::memory_order_relaxed);
+      local_hits_.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
+  }
   {
     std::lock_guard<std::mutex> g(mu_);
     if (!free_.empty()) {
       Stack s = std::move(free_.back());
       free_.pop_back();
+      cached_.fetch_sub(1, std::memory_order_relaxed);
+      global_hits_.fetch_add(1, std::memory_order_relaxed);
       return s;
     }
-    ++total_allocated_;
   }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  total_allocated_.fetch_add(1, std::memory_order_relaxed);
   return Stack(stack_size_);
 }
 
 void StackPool::put(Stack&& s) {
   if (!s.valid()) return;
+  // The total-cached bound is advisory (checked outside the locks); it can
+  // overshoot by a few stacks under races, which only costs memory, never
+  // correctness.
+  if (cached_.load(std::memory_order_relaxed) >= max_cached_) {
+    return;  // drop on the floor; destructor unmaps
+  }
+  Shard& sh = my_shard();
+  {
+    LockGuard<SpinLock> g(sh.mu);
+    if (sh.free.size() < kShardCap) {
+      sh.free.push_back(std::move(s));
+      cached_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
   std::lock_guard<std::mutex> g(mu_);
-  if (free_.size() < max_cached_) free_.push_back(std::move(s));
-  // else: drop on the floor; destructor unmaps.
-}
-
-std::size_t StackPool::cached_for_test() {
-  std::lock_guard<std::mutex> g(mu_);
-  return free_.size();
+  free_.push_back(std::move(s));
+  cached_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace icilk

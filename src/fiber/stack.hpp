@@ -8,9 +8,13 @@
 // the low end so overflow faults instead of corrupting a neighbour.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <vector>
+
+#include "concurrent/spinlock.hpp"
 
 namespace icilk {
 
@@ -41,27 +45,61 @@ class Stack {
 };
 
 /// Thread-safe free list of uniformly sized stacks.
+///
+/// Fiber spawn/retire runs once per task, on every worker, concurrently —
+/// a single mutex-protected free list serializes the whole pool (the
+/// contention shows up directly in spawn latency). The pool therefore
+/// fronts the global list with per-worker shards: each thread hashes (by
+/// its process-wide ordinal) onto a spinlocked shard that in the common
+/// case only it touches, and the mutex-protected global list is just the
+/// spillover between shards. `max_cached` still bounds the TOTAL number of
+/// parked stacks across shards + global.
 class StackPool {
  public:
   explicit StackPool(std::size_t stack_size = Stack::kDefaultSize,
-                     std::size_t max_cached = 1024)
-      : stack_size_(stack_size), max_cached_(max_cached) {}
+                     std::size_t max_cached = 1024);
 
   Stack get();
   void put(Stack&& s);
 
   std::size_t stack_size() const noexcept { return stack_size_; }
-  std::size_t cached_for_test();
+  std::size_t cached_for_test() const noexcept {
+    return cached_.load(std::memory_order_relaxed);
+  }
   std::size_t total_allocated_for_test() const noexcept {
-    return total_allocated_;
+    return total_allocated_.load(std::memory_order_relaxed);
+  }
+
+  struct CacheStats {
+    std::uint64_t local_hits = 0;   ///< get() served by the caller's shard
+    std::uint64_t global_hits = 0;  ///< get() served by the global list
+    std::uint64_t misses = 0;       ///< get() that mmap'd a fresh stack
+  };
+  CacheStats cache_stats() const noexcept {
+    return {local_hits_.load(std::memory_order_relaxed),
+            global_hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed)};
   }
 
  private:
+  struct alignas(64) Shard {
+    SpinLock mu;
+    std::vector<Stack> free;
+  };
+  static constexpr std::size_t kShardCap = 64;  // stacks parked per shard
+
+  Shard& my_shard() noexcept;
+
   const std::size_t stack_size_;
   const std::size_t max_cached_;
+  std::vector<Shard> shards_;
   std::mutex mu_;
-  std::vector<Stack> free_;
-  std::size_t total_allocated_ = 0;
+  std::vector<Stack> free_;  // global spillover
+  std::atomic<std::size_t> cached_{0};
+  std::atomic<std::size_t> total_allocated_{0};
+  std::atomic<std::uint64_t> local_hits_{0};
+  std::atomic<std::uint64_t> global_hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace icilk

@@ -1,0 +1,118 @@
+// Lock-free fd-indexed slot table for the reactor's pending operations.
+//
+// File descriptors are small dense integers, so the natural index is the fd
+// itself: a preallocated array of per-fd slots sized from RLIMIT_NOFILE
+// replaces the seed's global mutex + unordered_map. Submission and
+// completion for fd N touch only slot N (one cache line, own spinlock);
+// operations on different fds never contend, and the table itself is never
+// resized, rehashed, or locked as a whole.
+//
+// Two robustness pieces ride along:
+//
+//   * a per-slot generation counter, bumped on cancel: epoll events carry
+//     the generation they were armed with, so a stale event for a closed-
+//     and-reused fd number is detected and dropped instead of being
+//     delivered to the new owner's operation;
+//   * an overflow map (plain mutex, unchanged from the seed's layout) for
+//     the rare fd beyond the preallocated range — processes that raise
+//     RLIMIT_NOFILE above the build-time cap still work, just slower for
+//     those fds.
+#pragma once
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "concurrent/spinlock.hpp"
+
+namespace icilk {
+
+template <typename OpT>
+class FdTable {
+ public:
+  /// Per-fd state. Slots are cache-line sized so neighbouring fds (distinct
+  /// connections) never false-share their spinlocks.
+  struct alignas(64) Slot {
+    SpinLock mu;
+    OpT* rd = nullptr;        ///< pending read/accept (owned while parked)
+    OpT* wr = nullptr;        ///< pending write
+    bool registered = false;  ///< fd known to epoll
+    std::uint32_t gen = 0;    ///< bumped on cancel; guarded by mu
+  };
+
+  static constexpr std::size_t kMinSlots = 1024;
+  static constexpr std::size_t kMaxSlots = 1 << 16;
+
+  /// `size_hint` overrides the RLIMIT_NOFILE sizing (tests); 0 = derive.
+  explicit FdTable(std::size_t size_hint = 0) {
+    std::size_t n = size_hint;
+    if (n == 0) {
+      n = kMinSlots;
+      rlimit rl{};
+      if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 &&
+          rl.rlim_cur != RLIM_INFINITY) {
+        n = static_cast<std::size_t>(rl.rlim_cur);
+      }
+      if (n < kMinSlots) n = kMinSlots;
+      if (n > kMaxSlots) n = kMaxSlots;
+    }
+    size_ = n;
+    slots_ = std::make_unique<Slot[]>(n);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+  bool in_fast_range(int fd) const noexcept {
+    return fd >= 0 && static_cast<std::size_t>(fd) < size_;
+  }
+
+  /// Slot for `fd`, creating the overflow entry if needed (submission side).
+  Slot& acquire(int fd) {
+    if (in_fast_range(fd)) return slots_[static_cast<std::size_t>(fd)];
+    overflow_hits_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> g(overflow_mu_);
+    auto& up = overflow_[fd];
+    if (!up) up = std::make_unique<Slot>();
+    return *up;
+  }
+
+  /// Existing slot or nullptr; never allocates (completion/cancel side).
+  Slot* find(int fd) {
+    if (in_fast_range(fd)) return &slots_[static_cast<std::size_t>(fd)];
+    std::lock_guard<std::mutex> g(overflow_mu_);
+    auto it = overflow_.find(fd);
+    return it == overflow_.end() ? nullptr : it->second.get();
+  }
+
+  /// Visits every slot that holds a pending op (teardown; callers must have
+  /// quiesced all other threads). `fn(Slot&)` may take ops out.
+  template <typename Fn>
+  void for_each_pending(Fn&& fn) {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (slots_[i].rd != nullptr || slots_[i].wr != nullptr) fn(slots_[i]);
+    }
+    std::lock_guard<std::mutex> g(overflow_mu_);
+    for (auto& [fd, up] : overflow_) {
+      if (up->rd != nullptr || up->wr != nullptr) fn(*up);
+    }
+  }
+
+  std::uint64_t overflow_hits() const noexcept {
+    return overflow_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+
+  std::mutex overflow_mu_;
+  std::unordered_map<int, std::unique_ptr<Slot>> overflow_;
+  std::atomic<std::uint64_t> overflow_hits_{0};
+};
+
+}  // namespace icilk

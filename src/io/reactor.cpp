@@ -4,6 +4,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 
 #include <cassert>
@@ -11,8 +12,30 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 namespace icilk {
+
+namespace {
+
+// epoll_event.data.u64 layout: high 32 bits select the event class.
+//   all-ones ........................ the wake eventfd
+//   0xFFFFFFFF in the high word ..... a timer shard (low word = shard idx)
+//   otherwise ....................... an fd event: (gen << 32) | fd, where
+//                                     gen < 2^31 so it never collides with
+//                                     the timer mark.
+constexpr std::uint64_t kWakeMark = ~std::uint64_t{0};
+constexpr std::uint64_t kTimerMarkHigh = 0xFFFFFFFFull;
+constexpr std::uint32_t kGenMask = 0x7FFFFFFFu;
+
+std::uint64_t pack_fd(int fd, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen & kGenMask) << 32) |
+         static_cast<std::uint32_t>(fd);
+}
+
+}  // namespace
+
+PoolCountersSnapshot IoReactor::op_pool_stats() { return OpPool::stats(); }
 
 IoReactor::IoReactor(Runtime& rt, int num_threads) : rt_(rt) {
   if (num_threads < 0) num_threads = rt.config().num_io_threads;
@@ -26,10 +49,27 @@ IoReactor::IoReactor(Runtime& rt, int num_threads) : rt_(rt) {
   }
   epoll_event ev{};
   ev.events = EPOLLIN;
-  ev.data.fd = wake_fd_;
+  ev.data.u64 = kWakeMark;
   ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
-  threads_.reserve(num_threads);
+  // One timer shard per I/O thread, each driven by its own timerfd.
+  // Edge-triggered so one expiration wakes one thread, not the whole pool.
+  timer_shards_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    auto shard = std::make_unique<TimerShard>();
+    shard->tfd = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+    if (shard->tfd < 0) {
+      std::perror("icilk: timerfd_create");
+      std::abort();
+    }
+    epoll_event tev{};
+    tev.events = EPOLLIN | EPOLLET;
+    tev.data.u64 = (kTimerMarkHigh << 32) | static_cast<std::uint32_t>(i);
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, shard->tfd, &tev);
+    timer_shards_.push_back(std::move(shard));
+  }
+
+  threads_.reserve(static_cast<std::size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this, i] { io_thread_main(i); });
   }
@@ -39,6 +79,13 @@ IoReactor::~IoReactor() {
   stop_.store(true, std::memory_order_seq_cst);
   wake();
   for (auto& t : threads_) t.join();
+  // Threads joined: any op still parked (reactor torn down with armed
+  // operations, same contract as the seed) is reclaimed without completing.
+  table_.for_each_pending([](Slot& s) {
+    if (s.rd != nullptr) OpPool::destroy(std::exchange(s.rd, nullptr));
+    if (s.wr != nullptr) OpPool::destroy(std::exchange(s.wr, nullptr));
+  });
+  for (auto& shard : timer_shards_) ::close(shard->tfd);
   ::close(wake_fd_);
   ::close(epfd_);
 }
@@ -52,73 +99,99 @@ void IoReactor::wake() {
 // Submitting operations
 // ---------------------------------------------------------------------------
 
-bool IoReactor::try_op_inline(Op& op) {
-  ssize_t r;
-  switch (op.kind) {
-    case OpKind::Read:
-      r = ::read(op.fd, op.buf, op.len);
-      break;
-    case OpKind::Write:
-      r = ::write(op.fd, op.cbuf, op.len);
-      break;
-    case OpKind::Accept:
-      r = ::accept4(op.fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-      break;
-    default:
-      r = -1;
-      errno = EINVAL;
+ssize_t IoReactor::do_syscall(OpKind kind, int fd, void* buf,
+                              const void* cbuf, std::size_t len) {
+  for (;;) {
+    ssize_t r;
+    switch (kind) {
+      case OpKind::Read:
+        r = ::read(fd, buf, len);
+        break;
+      case OpKind::Write:
+        r = ::write(fd, cbuf, len);
+        break;
+      case OpKind::Accept:
+        r = ::accept4(fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        break;
+      default:
+        r = -1;
+        errno = EINVAL;
+    }
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;  // retry inline; the fd is still ready
+    if (errno == EWOULDBLOCK) return -EAGAIN;
+    return -errno;
   }
-  if (r >= 0) {
-    op.fut->set_value(r);
-    op.fut->complete();
-    return true;
-  }
-  if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
-  if (errno == EINTR) return false;  // retry via epoll path
-  op.fut->set_value(-errno);
-  op.fut->complete();
-  return true;
 }
 
-void IoReactor::arm(std::unique_ptr<Op> op) {
+Future<ssize_t> IoReactor::submit(OpKind kind, int fd, void* buf,
+                                  const void* cbuf, std::size_t len) {
+  ops_submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto fut = Ref<FutureState<ssize_t>>::make(rt_);
+  const ssize_t r = do_syscall(kind, fd, buf, cbuf, len);
+  if (r != -EAGAIN) {
+    // Inline fast path: no Op, no slot, no epoll — just the syscall.
+    ops_inline_.fetch_add(1, std::memory_order_relaxed);
+    fut->set_value(r);
+    fut->complete();
+  } else {
+    arm(OpPool::create(kind, fd, buf, cbuf, len, fut));
+  }
+  return Future<ssize_t>(std::move(fut));
+}
+
+Future<ssize_t> IoReactor::async_read(int fd, void* buf, std::size_t len) {
+  return submit(OpKind::Read, fd, buf, nullptr, len);
+}
+
+Future<ssize_t> IoReactor::async_write(int fd, const void* buf,
+                                       std::size_t len) {
+  return submit(OpKind::Write, fd, nullptr, buf, len);
+}
+
+Future<ssize_t> IoReactor::async_accept(int listen_fd) {
+  return submit(OpKind::Accept, listen_fd, nullptr, nullptr, 0);
+}
+
+void IoReactor::arm(Op* op) {
   // The op would block: it is leaving the submitting task's synchronous
   // path. Recorded from the submitter side (worker ring, if any).
   rt_.trace_event(obs::EventKind::kIoSubmit, obs::TraceEvent::kNoLevel16,
                   static_cast<std::uint32_t>(op->fd));
-  FdEntry* entry;
-  {
-    std::lock_guard<std::mutex> g(fds_mu_);
-    auto& slot = fds_[op->fd];
-    if (!slot) slot = std::make_unique<FdEntry>();
-    entry = slot.get();
+  rt_.metrics().io_count(obs::IoStat::kFdTableProbe);
+  if (!table_.in_fast_range(op->fd)) {
+    rt_.metrics().io_count(obs::IoStat::kFdTableOverflow);
   }
-  LockGuard<SpinLock> g(entry->mu);
+  const int fd = op->fd;
+  Slot& s = table_.acquire(fd);
+  LockGuard<SpinLock> g(s.mu);
   // One pending op per direction per fd: the application layer serializes
   // same-direction operations on a connection (as Memcached does).
-  const int fd = op->fd;
   if (op->kind == OpKind::Write) {
-    assert(!entry->wr && "concurrent writes on one fd");
-    entry->wr = std::move(op);
+    assert(!s.wr && "concurrent writes on one fd");
+    s.wr = op;
   } else {
-    assert(!entry->rd && "concurrent reads on one fd");
-    entry->rd = std::move(op);
+    assert(!s.rd && "concurrent reads on one fd");
+    s.rd = op;
   }
-  update_interest(fd, *entry);
+  update_interest(fd, s);
 }
 
-void IoReactor::update_interest(int fd, FdEntry& e) {
+void IoReactor::update_interest(int fd, Slot& s) {
   epoll_event ev{};
-  ev.data.fd = fd;
+  ev.data.u64 = pack_fd(fd, s.gen);
   ev.events = EPOLLONESHOT;
-  if (e.rd) ev.events |= EPOLLIN | EPOLLRDHUP;
-  if (e.wr) ev.events |= EPOLLOUT;
-  if (!e.rd && !e.wr) return;  // nothing pending; ONESHOT left disarmed
+  if (s.rd != nullptr) ev.events |= EPOLLIN | EPOLLRDHUP;
+  if (s.wr != nullptr) ev.events |= EPOLLOUT;
+  if (s.rd == nullptr && s.wr == nullptr) {
+    return;  // nothing pending; ONESHOT left disarmed
+  }
   // Robust against fd-number reuse: a closed fd silently leaves epoll, so
   // MOD can hit ENOENT (re-ADD) and ADD can hit EEXIST (re-MOD).
-  if (!e.registered) {
+  if (!s.registered) {
     if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0 || errno == EEXIST) {
       if (errno == EEXIST) ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
-      e.registered = true;
+      s.registered = true;
     }
   } else if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0 &&
              errno == ENOENT) {
@@ -126,66 +199,121 @@ void IoReactor::update_interest(int fd, FdEntry& e) {
   }
 }
 
-Future<ssize_t> IoReactor::async_read(int fd, void* buf, std::size_t len) {
-  ops_submitted_.fetch_add(1, std::memory_order_relaxed);
-  auto fut = Ref<FutureState<ssize_t>>::make(rt_);
-  auto op = std::make_unique<Op>();
-  op->kind = OpKind::Read;
-  op->fd = fd;
-  op->buf = buf;
-  op->len = len;
-  op->fut = fut;
-  if (try_op_inline(*op)) {
-    ops_inline_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    arm(std::move(op));
+// ---------------------------------------------------------------------------
+// fd lifecycle
+// ---------------------------------------------------------------------------
+
+void IoReactor::cancel_fd(int fd) {
+  Slot* s = table_.find(fd);
+  if (s == nullptr) return;
+  Op* rd = nullptr;
+  Op* wr = nullptr;
+  {
+    LockGuard<SpinLock> g(s->mu);
+    rd = std::exchange(s->rd, nullptr);
+    wr = std::exchange(s->wr, nullptr);
+    // New generation: in-flight epoll events armed for the old fd now fail
+    // the gen check in handle_event and are dropped.
+    s->gen = (s->gen + 1) & kGenMask;
+    if (s->registered) {
+      ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);  // best effort
+      s->registered = false;
+    }
   }
-  return Future<ssize_t>(std::move(fut));
+  for (Op* op : {rd, wr}) {
+    if (op == nullptr) continue;
+    rt_.metrics().io_count(obs::IoStat::kFdCancel);
+    op->fut->set_value(-ECANCELED);
+    op->fut->complete();
+    OpPool::destroy(op);
+  }
 }
 
-Future<ssize_t> IoReactor::async_write(int fd, const void* buf,
-                                       std::size_t len) {
-  ops_submitted_.fetch_add(1, std::memory_order_relaxed);
-  auto fut = Ref<FutureState<ssize_t>>::make(rt_);
-  auto op = std::make_unique<Op>();
-  op->kind = OpKind::Write;
-  op->fd = fd;
-  op->cbuf = buf;
-  op->len = len;
-  op->fut = fut;
-  if (try_op_inline(*op)) {
-    ops_inline_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    arm(std::move(op));
-  }
-  return Future<ssize_t>(std::move(fut));
+int IoReactor::close_fd(int fd) {
+  cancel_fd(fd);
+  return ::close(fd);
 }
 
-Future<ssize_t> IoReactor::async_accept(int listen_fd) {
-  ops_submitted_.fetch_add(1, std::memory_order_relaxed);
-  auto fut = Ref<FutureState<ssize_t>>::make(rt_);
-  auto op = std::make_unique<Op>();
-  op->kind = OpKind::Accept;
-  op->fd = listen_fd;
-  op->fut = fut;
-  if (try_op_inline(*op)) {
-    ops_inline_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    arm(std::move(op));
-  }
-  return Future<ssize_t>(std::move(fut));
-}
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
 
 Future<void> IoReactor::async_sleep(std::chrono::nanoseconds d) {
   auto fut = Ref<FutureState<void>>::make(rt_);
+  if (d <= std::chrono::nanoseconds::zero()) {
+    rt_.metrics().io_count(obs::IoStat::kTimerInline);
+    fut->complete();
+    return Future<void>(std::move(fut));
+  }
   const std::uint64_t deadline =
       now_ns() + static_cast<std::uint64_t>(d.count());
+  TimerShard& s = *timer_shards_[static_cast<std::size_t>(thread_ordinal()) %
+                                 timer_shards_.size()];
   {
-    std::lock_guard<std::mutex> g(timers_mu_);
-    timers_.push(Timer{deadline, fut});
+    LockGuard<SpinLock> g(s.mu);
+    s.heap.push(Timer{deadline, fut});
+    s.depth.store(s.heap.size(), std::memory_order_relaxed);
+    if (s.armed_deadline_ns == 0 || deadline < s.armed_deadline_ns) {
+      s.armed_deadline_ns = deadline;
+      arm_timerfd_locked(s);
+    }
   }
-  wake();  // recompute epoll timeout
+  rt_.metrics().io_count(obs::IoStat::kTimerScheduled);
   return Future<void>(std::move(fut));
+}
+
+void IoReactor::arm_timerfd_locked(TimerShard& s) {
+  // Relative arming: no assumption that now_ns() and CLOCK_MONOTONIC share
+  // an epoch. A deadline already in the past fires "immediately" via 1ns.
+  const std::uint64_t now = now_ns();
+  const std::uint64_t rel =
+      s.armed_deadline_ns > now ? s.armed_deadline_ns - now : 1;
+  itimerspec its{};
+  its.it_value.tv_sec = static_cast<time_t>(rel / 1000000000ull);
+  its.it_value.tv_nsec = static_cast<long>(rel % 1000000000ull);
+  ::timerfd_settime(s.tfd, 0, &its, nullptr);
+}
+
+void IoReactor::handle_timer(std::size_t shard_idx, obs::TraceRing* ring) {
+  TimerShard& s = *timer_shards_[shard_idx];
+  std::uint64_t expirations;
+  while (::read(s.tfd, &expirations, sizeof(expirations)) > 0) {
+  }
+  // Thread-local scratch so steady-state timer fires don't allocate; safe
+  // because handle_timer is not reentrant on a thread and `due` is drained
+  // before returning.
+  thread_local std::vector<Ref<FutureState<void>>> due;
+  due.clear();
+  {
+    LockGuard<SpinLock> g(s.mu);
+    const std::uint64_t now = now_ns();
+    while (!s.heap.empty() && s.heap.top().deadline_ns <= now) {
+      due.push_back(s.heap.top().fut);
+      s.heap.pop();
+    }
+    s.depth.store(s.heap.size(), std::memory_order_relaxed);
+    if (!s.heap.empty()) {
+      s.armed_deadline_ns = s.heap.top().deadline_ns;
+      arm_timerfd_locked(s);
+    } else {
+      s.armed_deadline_ns = 0;
+    }
+  }
+  for (auto& f : due) {
+    ICILK_TRACE_RECORD(ring, obs::EventKind::kTimerFire,
+                       obs::TraceEvent::kNoLevel16, 0);
+    f->complete();
+  }
+  due.clear();  // drop the Refs now, not at the next fire
+}
+
+std::vector<std::size_t> IoReactor::timer_shard_depths() const {
+  std::vector<std::size_t> out;
+  out.reserve(timer_shards_.size());
+  for (const auto& s : timer_shards_) {
+    out.push_back(s->depth.load(std::memory_order_relaxed));
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -219,85 +347,51 @@ ssize_t IoReactor::write_all(int fd, const void* buf, std::size_t len) {
 // I/O threads
 // ---------------------------------------------------------------------------
 
-int IoReactor::fire_timers(obs::TraceRing* ring) {
-  std::vector<Ref<FutureState<void>>> due;
-  int next_ms = -1;
-  {
-    std::lock_guard<std::mutex> g(timers_mu_);
-    const std::uint64_t now = now_ns();
-    while (!timers_.empty() && timers_.top().deadline_ns <= now) {
-      due.push_back(timers_.top().fut);
-      timers_.pop();
-    }
-    if (!timers_.empty()) {
-      const std::uint64_t delta = timers_.top().deadline_ns - now;
-      next_ms = static_cast<int>(delta / 1000000) + 1;
-    }
-  }
-  for (auto& f : due) {
-    ICILK_TRACE_RECORD(ring, obs::EventKind::kTimerFire,
-                       obs::TraceEvent::kNoLevel16, 0);
-    f->complete();
-  }
-  return next_ms;
-}
-
-void IoReactor::handle_event(int fd, std::uint32_t events,
+void IoReactor::handle_event(int fd, std::uint32_t gen, std::uint32_t events,
                              obs::TraceRing* ring) {
-  FdEntry* entry;
-  {
-    std::lock_guard<std::mutex> g(fds_mu_);
-    auto it = fds_.find(fd);
-    if (it == fds_.end()) return;
-    entry = it->second.get();
-  }
+  Slot* s = table_.find(fd);
+  if (s == nullptr) return;
   // Completed ops are collected under the lock and completed outside it
   // (complete() re-enters the scheduler).
-  std::unique_ptr<Op> done_rd, done_wr;
+  Op* done_rd = nullptr;
+  Op* done_wr = nullptr;
   {
-    LockGuard<SpinLock> g(entry->mu);
+    LockGuard<SpinLock> g(s->mu);
+    if (s->gen != gen) {
+      // Event armed for a previous life of this fd number (cancel_fd ran
+      // since): drop it, it belongs to nobody.
+      rt_.metrics().io_count(obs::IoStat::kStaleEvent);
+      return;
+    }
     const bool rd_ready =
         (events & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP)) != 0;
     const bool wr_ready = (events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0;
-    if (rd_ready && entry->rd) {
+    if (rd_ready && s->rd != nullptr) {
       // Perform the syscall now; EAGAIN (spurious wake) re-arms below.
-      Op& op = *entry->rd;
-      ssize_t r = (op.kind == OpKind::Accept)
-                      ? ::accept4(op.fd, nullptr, nullptr,
-                                  SOCK_NONBLOCK | SOCK_CLOEXEC)
-                      : ::read(op.fd, op.buf, op.len);
-      if (r >= 0) {
+      Op& op = *s->rd;
+      const ssize_t r = do_syscall(op.kind, op.fd, op.buf, nullptr, op.len);
+      if (r != -EAGAIN) {
         op.fut->set_value(r);
-        done_rd = std::move(entry->rd);
-      } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-        op.fut->set_value(-errno);
-        done_rd = std::move(entry->rd);
+        done_rd = std::exchange(s->rd, nullptr);
       }
     }
-    if (wr_ready && entry->wr) {
-      Op& op = *entry->wr;
-      const ssize_t r = ::write(op.fd, op.cbuf, op.len);
-      if (r >= 0) {
+    if (wr_ready && s->wr != nullptr) {
+      Op& op = *s->wr;
+      const ssize_t r = do_syscall(op.kind, op.fd, nullptr, op.cbuf, op.len);
+      if (r != -EAGAIN) {
         op.fut->set_value(r);
-        done_wr = std::move(entry->wr);
-      } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-        op.fut->set_value(-errno);
-        done_wr = std::move(entry->wr);
+        done_wr = std::exchange(s->wr, nullptr);
       }
     }
-    update_interest(fd, *entry);  // re-arm whatever remains (ONESHOT)
+    update_interest(fd, *s);  // re-arm whatever remains (ONESHOT)
   }
-  if (done_rd) {
+  for (Op* op : {done_rd, done_wr}) {
+    if (op == nullptr) continue;
     ICILK_TRACE_RECORD(ring, obs::EventKind::kIoComplete,
                        obs::TraceEvent::kNoLevel16,
                        static_cast<std::uint32_t>(fd));
-    done_rd->fut->complete();
-  }
-  if (done_wr) {
-    ICILK_TRACE_RECORD(ring, obs::EventKind::kIoComplete,
-                       obs::TraceEvent::kNoLevel16,
-                       static_cast<std::uint32_t>(fd));
-    done_wr->fut->complete();
+    op->fut->complete();
+    OpPool::destroy(op);
   }
 }
 
@@ -305,25 +399,33 @@ void IoReactor::io_thread_main(int thread_idx) {
   // Each I/O thread is the single writer of its own trace ring.
   obs::TraceRing* ring =
       &rt_.trace_sink().acquire_ring("io" + std::to_string(thread_idx));
-  constexpr int kMaxEvents = 64;
+  constexpr int kMaxEvents = 128;
   epoll_event events[kMaxEvents];
   while (!stop_.load(std::memory_order_acquire)) {
-    const int timeout_ms = fire_timers(ring);
-    const int n = ::epoll_wait(epfd_, events, kMaxEvents,
-                               timeout_ms < 0 ? 100 : timeout_ms);
+    // Timers arrive through their shard timerfds, so epoll_wait can block
+    // indefinitely; shutdown arrives through the (level-triggered, never
+    // drained on stop) wake eventfd.
+    const int n = ::epoll_wait(epfd_, events, kMaxEvents, -1);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
     for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
-      if (fd == wake_fd_) {
+      const std::uint64_t d = events[i].data.u64;
+      if (d == kWakeMark) {
+        if (stop_.load(std::memory_order_acquire)) return;
         std::uint64_t drain;
         while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
         }
         continue;
       }
-      handle_event(fd, events[i].events, ring);
+      if ((d >> 32) == kTimerMarkHigh) {
+        handle_timer(static_cast<std::size_t>(d & 0xFFFFFFFFull), ring);
+        continue;
+      }
+      handle_event(static_cast<int>(d & 0xFFFFFFFFull),
+                   static_cast<std::uint32_t>(d >> 32), events[i].events,
+                   ring);
     }
   }
 }

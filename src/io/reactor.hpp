@@ -15,6 +15,17 @@
 // pending read and one pending write). Results are C-style: >= 0 on
 // success, -errno on failure.
 //
+// Fast-path structure (see DESIGN.md "I/O fast path"):
+//   * pending ops live in a preallocated fd-indexed slot table
+//     (io/fd_table.hpp) — per-slot spinlock, no global lock, generation
+//     counters against fd-number reuse;
+//   * Op structs come from a per-thread recycling pool and future states
+//     from the size-class pool (concurrent/objpool.hpp), so steady-state
+//     operations allocate nothing;
+//   * sleep timers are sharded per I/O thread (hashed by submitter), each
+//     shard driven by its own timerfd inside the shared epoll — arming a
+//     timer takes one shard spinlock and never wakes the other threads.
+//
 // Composite helpers (read_exact / write_all) and synchronous task-facing
 // wrappers live on top of the one-shot futures.
 #pragma once
@@ -24,15 +35,15 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
+#include "concurrent/objpool.hpp"
 #include "concurrent/spinlock.hpp"
 #include "core/future.hpp"
 #include "core/runtime.hpp"
+#include "io/fd_table.hpp"
 
 namespace icilk {
 
@@ -64,6 +75,18 @@ class IoReactor {
   /// Resolves (to 0) after `d` elapses.
   Future<void> async_sleep(std::chrono::nanoseconds d);
 
+  // ---- fd lifecycle ----
+
+  /// Completes any pending ops on `fd` with -ECANCELED, forgets its epoll
+  /// registration, and bumps the slot generation so in-flight events for
+  /// the old fd are dropped. Call before ::close on any fd that may still
+  /// have armed operations; without it a reused fd number could inherit a
+  /// stale pending op (asserts in debug builds).
+  void cancel_fd(int fd);
+
+  /// cancel_fd + ::close. Returns ::close's result (0 or -1/errno).
+  int close_fd(int fd);
+
   // ---- synchronous task-facing wrappers (block the TASK, not the worker) -
 
   ssize_t read_some(int fd, void* buf, std::size_t len) {
@@ -87,11 +110,23 @@ class IoReactor {
   std::uint64_t ops_inline_for_test() const {
     return ops_inline_.load(std::memory_order_relaxed);
   }
+  std::size_t fd_table_size_for_test() const { return table_.size(); }
+  /// Live per-shard timer heap depths (gauges for `stats icilk`).
+  std::vector<std::size_t> timer_shard_depths() const;
+
+  /// Process-wide recycling pool counters (Op structs / future states).
+  static PoolCountersSnapshot op_pool_stats();
+  static PoolCountersSnapshot future_pool_stats() {
+    return sized_pool_stats();
+  }
 
  private:
   enum class OpKind { Read, Write, Accept };
 
   struct Op {
+    Op(OpKind k, int f, void* b, const void* cb, std::size_t l,
+       Ref<FutureState<ssize_t>> fu)
+        : kind(k), fd(f), buf(b), cbuf(cb), len(l), fut(std::move(fu)) {}
     OpKind kind;
     int fd;
     void* buf = nullptr;
@@ -100,12 +135,9 @@ class IoReactor {
     Ref<FutureState<ssize_t>> fut;
   };
 
-  struct FdEntry {
-    SpinLock mu;
-    std::unique_ptr<Op> rd;  // pending read/accept
-    std::unique_ptr<Op> wr;  // pending write
-    bool registered = false; // fd known to epoll
-  };
+  using Table = FdTable<Op>;
+  using Slot = Table::Slot;
+  using OpPool = ObjectPool<Op>;
 
   struct Timer {
     std::uint64_t deadline_ns;
@@ -115,15 +147,32 @@ class IoReactor {
     }
   };
 
-  /// Attempts the op's syscall; true if it finished (future completed).
-  static bool try_op_inline(Op& op);
-  /// Parks the op in the fd's slot and (re)arms epoll interest.
-  void arm(std::unique_ptr<Op> op);
-  void update_interest(int fd, FdEntry& e);  // caller holds e.mu
+  /// One timer heap per I/O thread, driven by its own timerfd in the
+  /// shared epoll. Submitters hash onto a shard by thread ordinal.
+  struct TimerShard {
+    SpinLock mu;
+    std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> heap;
+    int tfd = -1;
+    std::uint64_t armed_deadline_ns = 0;  // 0 = disarmed; guarded by mu
+    std::atomic<std::size_t> depth{0};    // gauge mirror of heap.size()
+  };
+
+  /// Runs the syscall for (kind, fd, ...), retrying EINTR inline. Returns
+  /// the result (>= 0), -errno on hard failure, or -EAGAIN if it would
+  /// block (EWOULDBLOCK is normalized to EAGAIN).
+  static ssize_t do_syscall(OpKind kind, int fd, void* buf, const void* cbuf,
+                            std::size_t len);
+
+  Future<ssize_t> submit(OpKind kind, int fd, void* buf, const void* cbuf,
+                         std::size_t len);
+  /// Parks the op in its fd slot and (re)arms epoll interest.
+  void arm(Op* op);
+  void update_interest(int fd, Slot& s);  // caller holds s.mu
   void io_thread_main(int thread_idx);
-  void handle_event(int fd, std::uint32_t events, obs::TraceRing* ring);
-  /// Fires due timers; returns ms until the next one (or -1).
-  int fire_timers(obs::TraceRing* ring);
+  void handle_event(int fd, std::uint32_t gen, std::uint32_t events,
+                    obs::TraceRing* ring);
+  void handle_timer(std::size_t shard_idx, obs::TraceRing* ring);
+  void arm_timerfd_locked(TimerShard& s);  // caller holds s.mu
   void wake();
 
   Runtime& rt_;
@@ -132,11 +181,8 @@ class IoReactor {
   std::atomic<bool> stop_{false};
   std::vector<std::thread> threads_;
 
-  std::mutex fds_mu_;
-  std::unordered_map<int, std::unique_ptr<FdEntry>> fds_;
-
-  std::mutex timers_mu_;
-  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  Table table_;
+  std::vector<std::unique_ptr<TimerShard>> timer_shards_;
 
   std::atomic<std::uint64_t> ops_submitted_{0};
   std::atomic<std::uint64_t> ops_inline_{0};

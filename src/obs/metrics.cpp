@@ -4,6 +4,19 @@
 
 namespace icilk::obs {
 
+const char* io_stat_name(IoStat s) noexcept {
+  switch (s) {
+    case IoStat::kFdTableProbe: return "fd_probes";
+    case IoStat::kFdTableOverflow: return "fd_overflow";
+    case IoStat::kFdCancel: return "fd_cancels";
+    case IoStat::kStaleEvent: return "stale_events";
+    case IoStat::kTimerScheduled: return "timers_sharded";
+    case IoStat::kTimerInline: return "timers_inline";
+    case IoStat::kCount: break;
+  }
+  return "unknown";
+}
+
 MetricsRegistry::MetricsRegistry(int num_levels)
     : num_levels_(num_levels < 1 ? 1
                                  : (num_levels > kMaxLevels ? kMaxLevels
@@ -36,6 +49,10 @@ void MetricsRegistry::merge_from(const MetricsRegistry& o) {
     levels_[level].promptness_ns.merge(o.levels_[level].promptness_ns);
     levels_[level].aging_ns.merge(o.levels_[level].aging_ns);
   }
+  for (int s = 0; s < static_cast<int>(IoStat::kCount); ++s) {
+    io_[s].fetch_add(o.io_[s].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
 }
 
 void MetricsRegistry::reset() {
@@ -45,6 +62,7 @@ void MetricsRegistry::reset() {
     l.promptness_ns.reset();
     l.aging_ns.reset();
   }
+  for (auto& c : io_) c.store(0, std::memory_order_relaxed);
 }
 
 std::string MetricsRegistry::text(const std::string& prefix,
@@ -77,6 +95,15 @@ std::string MetricsRegistry::text(const std::string& prefix,
       line(level, "aging_p99_us", l.aging_ns.percentile_ns(0.99) / 1000);
       line(level, "aging_max_us", l.aging_ns.max_ns() / 1000);
     }
+  }
+  for (int s = 0; s < static_cast<int>(IoStat::kCount); ++s) {
+    const std::uint64_t v = io_[s].load(std::memory_order_relaxed);
+    if (v == 0) continue;
+    std::snprintf(buf, sizeof(buf), "STAT %sio_%s %llu", prefix.c_str(),
+                  io_stat_name(static_cast<IoStat>(s)),
+                  static_cast<unsigned long long>(v));
+    out += buf;
+    out += eol;
   }
   return out;
 }

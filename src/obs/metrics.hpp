@@ -32,6 +32,22 @@
 
 namespace icilk::obs {
 
+/// Reactor fast-path counters (PR 2). These have no priority-level axis —
+/// they count submissions/structures inside the I/O layer — so they live
+/// beside the per-level table rather than in it.
+enum class IoStat : int {
+  kFdTableProbe = 0,  ///< armed op parked in its fd slot
+  kFdTableOverflow,   ///< fd beyond the preallocated range (mutex path)
+  kFdCancel,          ///< cancel_fd completed a pending op with -ECANCELED
+  kStaleEvent,        ///< epoll event dropped by generation mismatch
+  kTimerScheduled,    ///< async_sleep pushed onto a timer shard
+  kTimerInline,       ///< async_sleep with non-positive delay, done inline
+  kCount              ///< sentinel
+};
+
+/// Stable lowercase name for export ("fd_probes", ...).
+const char* io_stat_name(IoStat s) noexcept;
+
 class MetricsRegistry {
  public:
   static constexpr int kMaxLevels = 64;
@@ -80,6 +96,15 @@ class MetricsRegistry {
       const std::uint64_t now = now_ns();
       levels_[level].promptness_ns.record(now > t ? now - t : 0);
     }
+  }
+
+  // ---- I/O fast-path counters (no level axis) ----
+
+  void io_count(IoStat s, std::uint64_t n = 1) noexcept {
+    io_[static_cast<int>(s)].fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t io_counter(IoStat s) const noexcept {
+    return io_[static_cast<int>(s)].load(std::memory_order_relaxed);
   }
 
   // ---- aging delay ----
@@ -131,6 +156,7 @@ class MetricsRegistry {
 
   int num_levels_;
   std::vector<PerLevel> levels_;
+  std::atomic<std::uint64_t> io_[static_cast<int>(IoStat::kCount)] = {};
 };
 
 }  // namespace icilk::obs

@@ -1,0 +1,156 @@
+// fd-number reuse and cancellation semantics: a closed fd whose number
+// comes back on a new connection must never receive (or deliver) a stale
+// completion from its previous life. cancel_fd/close_fd are the lifecycle
+// hooks that make that guarantee.
+#include <gtest/gtest.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <csignal>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/api.hpp"
+#include "core/prompt_scheduler.hpp"
+#include "io/reactor.hpp"
+
+namespace icilk {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct FdReuseTest : ::testing::Test {
+  void SetUp() override {
+    RuntimeConfig cfg;
+    cfg.num_workers = 2;
+    cfg.num_io_threads = 2;
+    rt = std::make_unique<Runtime>(cfg, std::make_unique<PromptScheduler>());
+    reactor = std::make_unique<IoReactor>(*rt);
+  }
+  void TearDown() override {
+    reactor.reset();
+    rt.reset();
+  }
+
+  /// Starts a task that arms a read on `fd` and waits until the op has
+  /// actually parked in the slot (left the inline path).
+  Future<ssize_t> arm_read(int fd, char* buf, std::size_t len) {
+    const std::uint64_t armed_before =
+        reactor->ops_submitted_for_test() - reactor->ops_inline_for_test();
+    auto f = rt->submit(0, [this, fd, buf, len] {
+      return reactor->read_some(fd, buf, len);
+    });
+    while (reactor->ops_submitted_for_test() -
+               reactor->ops_inline_for_test() <=
+           armed_before) {
+      std::this_thread::sleep_for(100us);
+    }
+    // The submit counter bumps before arming; give the slot a moment.
+    std::this_thread::sleep_for(1ms);
+    return f;
+  }
+
+  std::unique_ptr<Runtime> rt;
+  std::unique_ptr<IoReactor> reactor;
+};
+
+TEST_F(FdReuseTest, CancelFdCompletesPendingOpWithECanceled) {
+  int fds[2];
+  ASSERT_EQ(::pipe2(fds, O_NONBLOCK | O_CLOEXEC), 0);
+  char buf[8];
+  auto f = arm_read(fds[0], buf, sizeof(buf));
+  reactor->cancel_fd(fds[0]);
+  EXPECT_EQ(f.get(), -ECANCELED);
+  EXPECT_GE(rt->metrics().io_counter(obs::IoStat::kFdCancel), 1u);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(FdReuseTest, CancelFdWithNothingPendingIsANoOp) {
+  int fds[2];
+  ASSERT_EQ(::pipe2(fds, O_NONBLOCK | O_CLOEXEC), 0);
+  reactor->cancel_fd(fds[0]);   // nothing armed
+  reactor->cancel_fd(123456);   // beyond any table; no slot exists
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(FdReuseTest, CloseFdCancelsAndCloses) {
+  int fds[2];
+  ASSERT_EQ(::pipe2(fds, O_NONBLOCK | O_CLOEXEC), 0);
+  char buf[8];
+  auto f = arm_read(fds[0], buf, sizeof(buf));
+  EXPECT_EQ(reactor->close_fd(fds[0]), 0);
+  EXPECT_EQ(f.get(), -ECANCELED);
+  // Already closed: a second raw close must fail with EBADF.
+  errno = 0;
+  EXPECT_EQ(::close(fds[0]), -1);
+  EXPECT_EQ(errno, EBADF);
+  ::close(fds[1]);
+}
+
+TEST_F(FdReuseTest, ReusedFdNumberSeesNoStaleCompletion) {
+  // Life 1: arm a read on rd1, then close the fd via the lifecycle hook
+  // while the op is still pending.
+  int p1[2];
+  ASSERT_EQ(::pipe2(p1, O_NONBLOCK | O_CLOEXEC), 0);
+  const int reused_number = p1[0];
+  char buf1[8] = {0};
+  auto f1 = arm_read(p1[0], buf1, sizeof(buf1));
+  ASSERT_EQ(reactor->close_fd(p1[0]), 0);
+  EXPECT_EQ(f1.get(), -ECANCELED);
+
+  // Life 2: the kernel hands back the lowest free number — the one we just
+  // closed. A fresh op on it must complete with life-2 data only.
+  int p2[2];
+  ASSERT_EQ(::pipe2(p2, O_NONBLOCK | O_CLOEXEC), 0);
+  ASSERT_EQ(p2[0], reused_number) << "fd numbering assumption broke";
+  char buf2[8] = {0};
+  auto f2 = arm_read(p2[0], buf2, sizeof(buf2));
+  // Life-1 writer fires (its read end is gone, so this write fails with
+  // EPIPE — the point is that nothing from life 1 can reach life 2).
+  ::signal(SIGPIPE, SIG_IGN);
+  (void)::write(p1[1], "OLD", 3);
+  ASSERT_EQ(::write(p2[1], "new", 3), 3);
+  EXPECT_EQ(f2.get(), 3);
+  EXPECT_EQ(std::string(buf2, 3), "new");
+  // And the cancelled future still holds its cancelled result.
+  EXPECT_EQ(f1.get(), -ECANCELED);
+  ::close(p1[1]);
+  reactor->close_fd(p2[0]);
+  ::close(p2[1]);
+}
+
+TEST_F(FdReuseTest, ManyReuseRoundsWithCancellation) {
+  // Churn one fd number through cancel/reopen cycles; each round's read
+  // must see exactly its own round's byte.
+  int base[2];
+  ASSERT_EQ(::pipe2(base, O_NONBLOCK | O_CLOEXEC), 0);
+  for (int round = 0; round < 25; ++round) {
+    char buf[4] = {0};
+    if (round % 2 == 0) {
+      // Even rounds: cancel a pending read, then reopen.
+      auto f = arm_read(base[0], buf, sizeof(buf));
+      reactor->close_fd(base[0]);
+      ::close(base[1]);
+      EXPECT_EQ(f.get(), -ECANCELED) << "round " << round;
+      ASSERT_EQ(::pipe2(base, O_NONBLOCK | O_CLOEXEC), 0);
+    } else {
+      // Odd rounds: normal completion on the (reused) number.
+      auto f = arm_read(base[0], buf, sizeof(buf));
+      const char byte = static_cast<char>('a' + round % 26);
+      ASSERT_EQ(::write(base[1], &byte, 1), 1);
+      EXPECT_EQ(f.get(), 1) << "round " << round;
+      EXPECT_EQ(buf[0], byte) << "round " << round;
+    }
+  }
+  reactor->close_fd(base[0]);
+  ::close(base[1]);
+}
+
+}  // namespace
+}  // namespace icilk

@@ -1,0 +1,90 @@
+// Unit tests for the fd-indexed slot table (io/fd_table.hpp): sizing,
+// fast-range vs overflow routing, slot stability, generation bookkeeping.
+#include "io/fd_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/resource.h>
+
+#include <thread>
+#include <vector>
+
+namespace icilk {
+namespace {
+
+struct DummyOp {
+  int payload = 0;
+};
+
+TEST(FdTable, SizesFromRlimitWithinBounds) {
+  FdTable<DummyOp> t;
+  rlimit rl{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &rl), 0);
+  EXPECT_GE(t.size(), FdTable<DummyOp>::kMinSlots);
+  EXPECT_LE(t.size(), FdTable<DummyOp>::kMaxSlots);
+  if (rl.rlim_cur != RLIM_INFINITY &&
+      rl.rlim_cur <= FdTable<DummyOp>::kMaxSlots &&
+      rl.rlim_cur >= FdTable<DummyOp>::kMinSlots) {
+    EXPECT_EQ(t.size(), static_cast<std::size_t>(rl.rlim_cur));
+  }
+}
+
+TEST(FdTable, FastRangeSlotsAreStableAndDistinct) {
+  FdTable<DummyOp> t(/*size_hint=*/16);
+  EXPECT_EQ(t.size(), 16u);
+  auto& a = t.acquire(3);
+  auto& b = t.acquire(7);
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&t.acquire(3), &a);  // same slot every time
+  EXPECT_EQ(t.find(3), &a);
+  EXPECT_EQ(t.overflow_hits(), 0u);
+}
+
+TEST(FdTable, OverflowFdsRouteToMap) {
+  FdTable<DummyOp> t(/*size_hint=*/8);
+  EXPECT_FALSE(t.in_fast_range(8));
+  EXPECT_EQ(t.find(100), nullptr);  // find never allocates
+  auto& s = t.acquire(100);
+  EXPECT_EQ(t.find(100), &s);       // acquire created it; now findable
+  EXPECT_EQ(&t.acquire(100), &s);   // stable across calls
+  EXPECT_GE(t.overflow_hits(), 2u);
+}
+
+TEST(FdTable, ForEachPendingVisitsOnlyOccupiedSlots) {
+  FdTable<DummyOp> t(/*size_hint=*/8);
+  DummyOp op1, op2;
+  t.acquire(2).rd = &op1;
+  t.acquire(100).wr = &op2;  // overflow slot
+  int visited = 0;
+  t.for_each_pending([&](FdTable<DummyOp>::Slot& s) {
+    ++visited;
+    s.rd = nullptr;
+    s.wr = nullptr;
+  });
+  EXPECT_EQ(visited, 2);
+  visited = 0;
+  t.for_each_pending([&](FdTable<DummyOp>::Slot&) { ++visited; });
+  EXPECT_EQ(visited, 0);
+}
+
+TEST(FdTable, ConcurrentAcquireOnDistinctFdsIsSafe) {
+  FdTable<DummyOp> t(/*size_hint=*/256);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> ths;
+  std::atomic<int> mismatches{0};
+  for (int i = 0; i < kThreads; ++i) {
+    ths.emplace_back([&, i] {
+      for (int round = 0; round < 2000; ++round) {
+        const int fd = (round * kThreads + i) % 256;
+        auto& s = t.acquire(fd);
+        LockGuard<SpinLock> g(s.mu);
+        if (t.find(fd) != &s) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : ths) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace icilk
