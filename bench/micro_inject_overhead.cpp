@@ -1,0 +1,80 @@
+// Codegen check for the fault-injection hooks (src/inject/inject.hpp).
+//
+// The contract mirrors obs tracing: with ICILK_INJECT=OFF, probe() is a
+// constexpr no-op and BM_ProbeNoEngine must be indistinguishable from
+// BM_Baseline (scripts/soak.sh additionally proves the OFF-build object
+// files reference no inject symbols at all). Compiled in but with no
+// engine installed, the hook costs one relaxed load + predictable branch —
+// BM_ProbeNoEngine should sit within a few cycles of BM_Baseline, nowhere
+// near BM_ProbeActiveEngine's full hash-per-decision cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "inject/inject.hpp"
+
+namespace {
+
+using icilk::inject::Action;
+using icilk::inject::Config;
+using icilk::inject::Engine;
+using icilk::inject::Outcome;
+using icilk::inject::Point;
+
+void BM_Baseline(benchmark::State& state) {
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc++;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_Baseline);
+
+void BM_ProbeNoEngine(benchmark::State& state) {
+  // The shape every hook site has on the hot path of a production build:
+  // compiled in, nothing installed.
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    const Outcome o = icilk::inject::probe(Point::kSteal);
+    acc += static_cast<std::uint64_t>(o.action);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ProbeNoEngine);
+
+void BM_ProbeActiveEngineMiss(benchmark::State& state) {
+  // Engine installed, rate 0 at the probed point: the decide path runs
+  // (stream lookup + counter + hash) but nothing fires.
+  Config cfg;
+  cfg.seed = 1;
+  cfg.record_decisions = false;
+  Engine e(cfg);
+  e.install();
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    const Outcome o = icilk::inject::probe(Point::kSteal);
+    acc += static_cast<std::uint64_t>(o.action);
+    benchmark::DoNotOptimize(acc);
+  }
+  e.uninstall();
+}
+BENCHMARK(BM_ProbeActiveEngineMiss);
+
+void BM_EvalPure(benchmark::State& state) {
+  // The raw decision function, for reference.
+  Config cfg;
+  cfg.seed = 1;
+  cfg.set_all_rates(500000);
+  std::uint64_t n = 0;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    const Outcome o = Engine::eval(cfg, 0, n++, Point::kSyscallRead);
+    acc += static_cast<std::uint64_t>(o.action);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_EvalPure);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Captures a performance baseline for regression tracking: the fig1
 # memcached p99 sweep plus the reactor fast-path micro-bench with the
-# freelists on and off. Emits BENCH_<date>.json in the repo root.
+# freelists on and off. Emits BENCH_<date>.json in the repo root
+# (BENCH_<date>_runN.json on same-day reruns, so no data point is lost).
 #
 # Usage: bench/run_baseline.sh [build-dir] [fig1-duration-seconds]
 set -euo pipefail
@@ -10,7 +11,14 @@ BUILD_DIR="${1:-build}"
 FIG1_DURATION="${2:-1.0}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$(cd "$REPO_ROOT" && cd "$BUILD_DIR" && pwd)"
-OUT="$REPO_ROOT/BENCH_$(date +%Y%m%d).json"
+# Same-day reruns get a _runN suffix instead of clobbering earlier data.
+STAMP="$(date +%Y%m%d)"
+OUT="$REPO_ROOT/BENCH_${STAMP}.json"
+idx=1
+while [ -e "$OUT" ]; do
+  idx=$((idx + 1))
+  OUT="$REPO_ROOT/BENCH_${STAMP}_run${idx}.json"
+done
 
 FIG1="$BUILD_DIR/bench/fig1_memcached_p99"
 MICRO="$BUILD_DIR/bench/micro_reactor_ops"

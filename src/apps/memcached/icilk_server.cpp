@@ -50,7 +50,11 @@ void ICilkMcServer::track(int fd) {
 void ICilkMcServer::untrack(int fd) {
   LockGuard<SpinLock> g(conns_mu_);
   conn_fds_.erase(fd);
-  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+  // Release pairs with stop()'s acquire load: when the count reads zero,
+  // every routine's teardown (close_fd's cancel + generation bump) is
+  // ordered before reactor_.reset(). Relaxed here let reactor destruction
+  // race the tail of a closing connection (caught by the chaos soak).
+  active_conns_.fetch_sub(1, std::memory_order_release);
 }
 
 // ---------------------------------------------------------------------------

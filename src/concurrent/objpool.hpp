@@ -120,6 +120,11 @@ class BlockPool {
   struct Depot {
     SpinLock mu;
     std::vector<void*> blocks;
+    // Blocks parked here at process exit go back to the heap (the vector
+    // only holds raw pointers, so its own destructor would strand them).
+    ~Depot() {
+      for (void* p : blocks) ::operator delete(p);
+    }
   };
   struct Cache {
     std::vector<void*> blocks;

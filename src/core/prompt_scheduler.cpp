@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "core/runtime.hpp"
+#include "inject/inject.hpp"
 
 namespace icilk {
 
@@ -16,6 +17,14 @@ namespace {
 /// The paper's pool: two FAA FIFO queues; mugging queue serviced first.
 class FaaTwoQueuePool final : public DequePool {
  public:
+  // The FAA queues hold raw released refs; re-adopt and drop whatever is
+  // still parked at teardown (a resumable pushed after the last drain
+  // otherwise leaks — workers are already joined, so this is quiescent).
+  ~FaaTwoQueuePool() override {
+    while (pop()) {
+    }
+  }
+
   void push_regular(Ref<Deque> d) override { regular_.push(d.release()); }
   void push_mugging(Ref<Deque> d) override { mugging_.push(d.release()); }
   Ref<Deque> pop() override {
@@ -38,6 +47,11 @@ class FaaTwoQueuePool final : public DequePool {
 /// mugging queue exists to fix).
 class FaaSingleQueuePool final : public DequePool {
  public:
+  ~FaaSingleQueuePool() override {
+    while (pop()) {
+    }
+  }
+
   void push_regular(Ref<Deque> d) override { q_.push(d.release()); }
   void push_mugging(Ref<Deque> d) override { q_.push(d.release()); }
   Ref<Deque> pop() override {
@@ -184,6 +198,11 @@ void PromptScheduler::on_push(Worker& w) {
 }
 
 void PromptScheduler::on_resumable(Ref<Deque> d) {
+  // Crosspoint: delay the publication of resumability. The deque is
+  // already Resumable, so this widens the window where a racing thief
+  // (steal/mug on a stale pool reference) sees the transition before the
+  // pool and bitfield do.
+  inject::maybe_pause(inject::probe(inject::Point::kResumePublish));
   const Priority p = d->priority();
   if (d->mark_enqueued()) {
     pools_[p]->push_regular(std::move(d));
@@ -210,6 +229,11 @@ void PromptScheduler::drop_with_recheck(Ref<Deque> d) {
 
 bool PromptScheduler::process_candidate(Worker& w, Ref<Deque> d, Priority h) {
   Continuation c;
+  // Crosspoint: pause between popping the candidate and mugging it, so
+  // the deque's state can change under us (suspend completing, another
+  // thief winning, the owner abandoning) — the windows try_mug's state
+  // check exists for.
+  inject::maybe_pause(inject::probe(inject::Point::kMug));
   if (d->try_mug(c)) {
     w.stats.mugs++;
     rt_->metrics().count(obs::EventKind::kMug, h);
@@ -229,6 +253,8 @@ bool PromptScheduler::process_candidate(Worker& w, Ref<Deque> d, Priority h) {
     w.next = std::move(c);
     return true;
   }
+  // Crosspoint: same widening before the steal attempt.
+  inject::maybe_pause(inject::probe(inject::Point::kSteal));
   if (TaskFiber* f = d->steal_top()) {
     w.stats.steals++;
     rt_->metrics().count(obs::EventKind::kSteal, h);
@@ -329,8 +355,15 @@ void PromptScheduler::pre_op_check(Worker& w) {
       (++tls_check_counter % opts_.check_period) != 0) {
     return;
   }
+  // Crosspoint: force the abandonment branch even when no higher-priority
+  // work exists. The deque becomes "immediately resumable", enters the
+  // mugging queue, and must come back through a mug with its age intact —
+  // the paper's rarest path, exercised on demand.
+  const bool forced_abandon =
+      inject::probe(inject::Point::kAbandonCheck).action ==
+      inject::Action::kForce;
   // One seq_cst snapshot, as the paper prescribes for bitfield reads.
-  if (!bits_.has_higher_than(w.level)) return;
+  if (!forced_abandon && !bits_.has_higher_than(w.level)) return;
 
   // Higher-priority work exists: abandon the active deque (it becomes
   // "immediately resumable" and enters the mugging queue so it is not

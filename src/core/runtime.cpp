@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "inject/inject.hpp"
+
 namespace icilk {
 
 namespace {
@@ -66,6 +68,8 @@ void Runtime::shutdown() {
 
 void Runtime::worker_main(Worker& w) {
   tls_worker = &w;
+  // Injected decisions on this worker land in its own trace ring.
+  inject::set_thread_trace_ring(w.trace);
   for (;;) {
     if (!w.next.valid()) {
       if (w.active) retire_active(w);
@@ -76,6 +80,7 @@ void Runtime::worker_main(Worker& w) {
     }
     run_next(w);
   }
+  inject::set_thread_trace_ring(nullptr);
   tls_worker = nullptr;
 }
 
@@ -344,6 +349,9 @@ void Runtime::sync_impl() {
   ICILK_TRACE_RECORD(w->trace, obs::EventKind::kSuspend, self->st.priority,
                      0);
 
+  // Crosspoint: widen the window where the last child finishes while we
+  // park (the self-wake edge of the join protocol).
+  inject::maybe_pause(inject::probe(inject::Point::kSuspend));
   park_current([this, self] {
     Worker& w2 = *this_worker();
     Frame& fr2 = self->st.frame;
@@ -408,6 +416,10 @@ void future_wait(FutureStateBase& st) {
   rt.metrics().count(obs::EventKind::kSuspend, w->current->st.priority);
   ICILK_TRACE_RECORD(w->trace, obs::EventKind::kSuspend,
                      w->current->st.priority, 0);
+  // Crosspoint: stall between the ready() check and the park, widening
+  // the window where the future completes while the deque suspends (the
+  // add_waiter-lost race the publish protocol must absorb).
+  inject::maybe_pause(inject::probe(inject::Point::kSuspend));
   rt.park_current([&rt, &st, self = w->current] {
     Worker& w2 = *this_worker();
     Ref<Deque> d = w2.active;

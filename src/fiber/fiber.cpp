@@ -31,6 +31,13 @@ static_assert(sizeof(InitialFrame) == 9 * 8, "frame layout drifted");
 
 void Fiber::build_initial_frame() {
   char* top = static_cast<char*>(stack_.top());
+#if ICILK_ASAN_FIBERS
+  // A finished fiber leaves its final frames' redzones poisoned forever
+  // (on_finish switches away instead of returning through them). Clear
+  // the whole stack's shadow before arming it for a new body.
+  __asan_unpoison_memory_region(top - stack_.usable_size(),
+                                stack_.usable_size());
+#endif
   // Place the frame so that after the thunk's `ret`-less jmp, rsp % 16 == 8
   // at the C entry (the ABI state normally produced by a call).
   assert(reinterpret_cast<std::uintptr_t>(top) % 16 == 0);
@@ -69,6 +76,11 @@ void Fiber::prepare(Body body, std::function<void()> on_finish) {
 }  // namespace icilk
 
 extern "C" void icilk_fiber_entry(void* fiber) {
+#if ICILK_ASAN_FIBERS
+  // First instruction on a fresh fiber stack: complete the switch that
+  // brought us here. nullptr = this stack has no saved fake-stack state.
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
   auto* f = static_cast<icilk::Fiber*>(fiber);
   // Run the body. Exceptions must not unwind off a fiber root: there is no
   // caller frame to catch them and the unwinder would walk off the stack.
@@ -77,10 +89,14 @@ extern "C" void icilk_fiber_entry(void* fiber) {
   f->body_(*f);
   f->body_ = nullptr;
   f->armed_ = false;
-  // on_finish must switch away and never return.
-  auto finish = std::move(f->on_finish_);
-  f->on_finish_ = nullptr;
-  finish();
+  // on_finish must switch away and never return. It runs in place — NOT
+  // moved to a stack local first: the final switch abandons this frame, so
+  // a local's heap-backed closure state would leak every finish. Leaving
+  // it in the member is safe: the publish-after-park rule means nothing
+  // can re-prepare() this fiber (destroying the executing closure) until
+  // the switch away has completed, after which this frame never runs
+  // again. The closure is destroyed by the next prepare() or ~Fiber.
+  f->on_finish_();
   std::fprintf(stderr, "icilk: fiber on_finish returned — aborting\n");
   std::abort();
 }

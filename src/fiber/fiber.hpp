@@ -54,6 +54,27 @@ void __tsan_switch_to_fiber(void* fiber, unsigned flags);
 #define ICILK_TSAN_FIBERS 0
 #endif
 
+// AddressSanitizer likewise has to be told about stack switches: without
+// the fiber API it sees the first write to a fresh fiber stack as a wild
+// stack-buffer-overflow and poisons/unpoisons the wrong shadow on every
+// park. start_switch announces the destination stack's bounds before the
+// raw swap; finish_switch runs first thing on the destination stack.
+#if defined(__SANITIZE_ADDRESS__) || ICILK_HAS_FEATURE(address_sanitizer)
+#define ICILK_ASAN_FIBERS 1
+#include <pthread.h>
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* bottom, std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+void __asan_unpoison_memory_region(void const volatile* addr,
+                                   std::size_t size);
+}
+#else
+#define ICILK_ASAN_FIBERS 0
+#endif
+
 namespace icilk {
 
 /// A bare saved context: either a fiber's or an OS thread's native stack.
@@ -62,7 +83,31 @@ struct Context {
 #if ICILK_TSAN_FIBERS
   void* tsan = nullptr;  ///< TSan shadow context for this stack
 #endif
+#if ICILK_ASAN_FIBERS
+  void* asan_fake_stack = nullptr;  ///< saved by start_switch on the way out
+  const void* asan_bottom = nullptr;  ///< this context's stack low bound
+  std::size_t asan_size = 0;          ///< and its usable byte count
+#endif
 };
+
+#if ICILK_ASAN_FIBERS
+/// Fills a native thread context's stack bounds (no-op once set; fiber
+/// contexts are bound at construction). Every context's bounds are known
+/// before anything can switch INTO it, because saving its sp — the only
+/// way `to.sp` becomes valid — goes through switch_context's from side.
+inline void asan_bind_current_stack(Context& c) noexcept {
+  if (c.asan_bottom != nullptr) return;
+  pthread_attr_t attr;
+  void* addr = nullptr;
+  std::size_t size = 0;
+  if (::pthread_getattr_np(::pthread_self(), &attr) == 0) {
+    ::pthread_attr_getstack(&attr, &addr, &size);
+    ::pthread_attr_destroy(&attr);
+  }
+  c.asan_bottom = addr;
+  c.asan_size = size;
+}
+#endif
 
 class Fiber {
  public:
@@ -73,6 +118,11 @@ class Fiber {
   explicit Fiber(Stack&& stack) : stack_(std::move(stack)) {
 #if ICILK_TSAN_FIBERS
     ctx_.tsan = __tsan_create_fiber(0);
+#endif
+#if ICILK_ASAN_FIBERS
+    ctx_.asan_bottom =
+        static_cast<const char*>(stack_.top()) - stack_.usable_size();
+    ctx_.asan_size = stack_.usable_size();
 #endif
   }
 
@@ -123,6 +173,11 @@ class Fiber {
 /// back, control returns here with `from` restored.
 inline void switch_context(Context& from, const Context& to) {
   assert(to.sp != nullptr);
+#if ICILK_ASAN_FIBERS
+  asan_bind_current_stack(from);
+  __sanitizer_start_switch_fiber(&from.asan_fake_stack, to.asan_bottom,
+                                 to.asan_size);
+#endif
 #if ICILK_TSAN_FIBERS
   // Record which shadow context is live in `from` (for a native thread
   // context this is the only place it gets captured), then hand TSan the
@@ -132,6 +187,12 @@ inline void switch_context(Context& from, const Context& to) {
   __tsan_switch_to_fiber(to.tsan, 0);
 #endif
   icilk_ctx_switch(&from.sp, to.sp);
+#if ICILK_ASAN_FIBERS
+  // Control came back to `from`'s stack: close out whichever start_switch
+  // targeted us. A fresh fiber's first landing closes out in
+  // icilk_fiber_entry instead.
+  __sanitizer_finish_switch_fiber(from.asan_fake_stack, nullptr, nullptr);
+#endif
 }
 
 }  // namespace icilk

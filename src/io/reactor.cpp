@@ -1,6 +1,8 @@
 #include "io/reactor.hpp"
 
 #include <fcntl.h>
+
+#include "inject/inject.hpp"
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -102,13 +104,36 @@ void IoReactor::wake() {
 ssize_t IoReactor::do_syscall(OpKind kind, int fd, void* buf,
                               const void* cbuf, std::size_t len) {
   for (;;) {
+    // Fault-injection shim (compiles to nothing under ICILK_INJECT=OFF):
+    // a hostile kernel can return EAGAIN/EINTR/ECONNRESET, deliver fewer
+    // bytes than asked, or stall — all of which the layers above must
+    // survive. Injected EINTR takes the same retry edge the real one does.
+    std::size_t eff_len = len;
+    const inject::Outcome fault = inject::probe(
+        kind == OpKind::Read    ? inject::Point::kSyscallRead
+        : kind == OpKind::Write ? inject::Point::kSyscallWrite
+                                : inject::Point::kSyscallAccept);
+    switch (fault.action) {
+      case inject::Action::kEagain:
+        return -EAGAIN;
+      case inject::Action::kConnReset:
+        return -ECONNRESET;
+      case inject::Action::kEintr:
+        continue;
+      case inject::Action::kShortIo:
+        if (eff_len > 1) eff_len = 1;
+        break;
+      default:
+        inject::maybe_pause(fault);
+        break;
+    }
     ssize_t r;
     switch (kind) {
       case OpKind::Read:
-        r = ::read(fd, buf, len);
+        r = ::read(fd, buf, eff_len);
         break;
       case OpKind::Write:
-        r = ::write(fd, cbuf, len);
+        r = ::write(fd, cbuf, eff_len);
         break;
       case OpKind::Accept:
         r = ::accept4(fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -299,6 +324,11 @@ void IoReactor::handle_timer(std::size_t shard_idx, obs::TraceRing* ring) {
       s.armed_deadline_ns = 0;
     }
   }
+  // Bounded completion delay: sleep futures may fire "late" relative to
+  // every other event in the system, never early.
+  if (!due.empty()) {
+    inject::maybe_pause(inject::probe(inject::Point::kTimerFire));
+  }
   for (auto& f : due) {
     ICILK_TRACE_RECORD(ring, obs::EventKind::kTimerFire,
                        obs::TraceEvent::kNoLevel16, 0);
@@ -363,6 +393,17 @@ void IoReactor::handle_event(int fd, std::uint32_t gen, std::uint32_t events,
       rt_.metrics().io_count(obs::IoStat::kStaleEvent);
       return;
     }
+    // Injected spurious wakeup: service nothing and re-arm interest as-is
+    // (EPOLLONESHOT redelivers while the fd stays ready). kDelay here
+    // stretches the slot-lock hold, widening races with cancel_fd and the
+    // submit path.
+    const inject::Outcome fault =
+        inject::probe(inject::Point::kEpollDispatch);
+    if (fault.action == inject::Action::kForce) {
+      update_interest(fd, *s);
+      return;
+    }
+    inject::maybe_pause(fault);
     const bool rd_ready =
         (events & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP)) != 0;
     const bool wr_ready = (events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0;
@@ -396,9 +437,11 @@ void IoReactor::handle_event(int fd, std::uint32_t gen, std::uint32_t events,
 }
 
 void IoReactor::io_thread_main(int thread_idx) {
-  // Each I/O thread is the single writer of its own trace ring.
+  // Each I/O thread is the single writer of its own trace ring; injected
+  // decisions on this thread are recorded into the same ring.
   obs::TraceRing* ring =
       &rt_.trace_sink().acquire_ring("io" + std::to_string(thread_idx));
+  inject::set_thread_trace_ring(ring);
   constexpr int kMaxEvents = 128;
   epoll_event events[kMaxEvents];
   while (!stop_.load(std::memory_order_acquire)) {
@@ -413,7 +456,10 @@ void IoReactor::io_thread_main(int thread_idx) {
     for (int i = 0; i < n; ++i) {
       const std::uint64_t d = events[i].data.u64;
       if (d == kWakeMark) {
-        if (stop_.load(std::memory_order_acquire)) return;
+        if (stop_.load(std::memory_order_acquire)) {
+          inject::set_thread_trace_ring(nullptr);
+          return;
+        }
         std::uint64_t drain;
         while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
         }
@@ -428,6 +474,7 @@ void IoReactor::io_thread_main(int thread_idx) {
                    ring);
     }
   }
+  inject::set_thread_trace_ring(nullptr);
 }
 
 }  // namespace icilk

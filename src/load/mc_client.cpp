@@ -1,6 +1,7 @@
 #include "load/mc_client.hpp"
 
 #include <sys/epoll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -56,7 +57,8 @@ bool McClient::setup() {
   char buf[4096];
   while (off < blob.size() || resp.find("\r\n") == std::string::npos) {
     if (off < blob.size()) {
-      const ssize_t w = ::write(c0.fd, blob.data() + off, blob.size() - off);
+      const ssize_t w =
+          ::send(c0.fd, blob.data() + off, blob.size() - off, MSG_NOSIGNAL);
       if (w > 0) {
         off += static_cast<std::size_t>(w);
       } else if (w < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
@@ -73,7 +75,43 @@ bool McClient::setup() {
   return resp.rfind("VERSION", 0) == 0;
 }
 
+void McClient::recycle(Conn& c) {
+  // Requests written to a dead connection never get responses; count them
+  // now so run()'s completion condition doesn't wait on them.
+  errors_ += c.pending.size() - c.pending_head;
+  if (c.fd >= 0) {
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+    c.fd = -1;
+  }
+  c.out.clear();
+  c.in.clear();
+  c.parse_pos = 0;
+  c.pending.clear();
+  c.pending_head = 0;
+
+  const int fd = net::connect_tcp(cfg_.port);
+  if (fd < 0) return;  // slot stays down; later requests on it error out
+  net::set_nodelay(fd);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u32 = static_cast<std::uint32_t>(&c - conns_.data());
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    return;
+  }
+  c.fd = fd;
+  ++reconnects_;
+}
+
 void McClient::fire_request(Conn& c, std::uint64_t arrival_ns) {
+  if (c.fd < 0) {
+    recycle(c);
+    if (c.fd < 0) {
+      ++errors_;  // reconnect failed; the request is lost, not stalled
+      return;
+    }
+  }
   const bool is_get = rng_.uniform() < cfg_.get_fraction;
   const std::string key =
       key_of(static_cast<int>(rng_.bounded(
@@ -89,14 +127,17 @@ void McClient::fire_request(Conn& c, std::uint64_t arrival_ns) {
 }
 
 bool McClient::flush(Conn& c) {
+  if (c.fd < 0) return false;
   while (!c.out.empty()) {
-    const ssize_t w = ::write(c.fd, c.out.data(), c.out.size());
+    // MSG_NOSIGNAL: a server killing the connection mid-request must
+    // surface as EPIPE (handled by recycle), not a process-fatal SIGPIPE.
+    const ssize_t w = ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
     if (w > 0) {
       c.out.erase(0, static_cast<std::size_t>(w));
     } else if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       return true;  // kernel buffer full; retried on the next pass
     } else {
-      ++errors_;
+      recycle(c);  // EPIPE/ECONNRESET mid-request: replace the connection
       return false;
     }
   }
@@ -175,6 +216,7 @@ bool McClient::consume_response(Conn& c, Histogram& hist) {
 }
 
 bool McClient::drain_input(Conn& c, Histogram& hist) {
+  if (c.fd < 0) return false;
   char buf[16384];
   for (;;) {
     const ssize_t r = ::read(c.fd, buf, sizeof(buf));
@@ -186,8 +228,8 @@ bool McClient::drain_input(Conn& c, Histogram& hist) {
     } else if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       return true;
     } else {
-      ++errors_;
-      return false;  // EOF or hard error
+      recycle(c);  // EOF or hard error (reset): replace the connection
+      return false;
     }
   }
 }

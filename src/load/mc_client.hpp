@@ -47,6 +47,8 @@ class McClient {
                   Histogram& hist, double drain_timeout_s = 10.0);
 
   std::uint64_t errors() const noexcept { return errors_; }
+  /// Connections re-established after a mid-request failure (reset, EOF).
+  std::uint64_t reconnects() const noexcept { return reconnects_; }
 
  private:
   struct Pending {
@@ -65,6 +67,11 @@ class McClient {
   void fire_request(Conn& c, std::uint64_t arrival_ns);
   bool flush(Conn& c);          // false on fatal error
   bool drain_input(Conn& c, Histogram& hist);
+  /// Tears down a failed connection and reconnects. Every in-flight
+  /// request on it is counted as an error so the open-loop completion
+  /// accounting (done + errors == fired) still converges instead of
+  /// stalling the slot until the drain timeout.
+  void recycle(Conn& c);
   /// Scans one complete response at the head of c.in; true if consumed.
   bool consume_response(Conn& c, Histogram& hist);
   std::string key_of(int i) const;
@@ -74,6 +81,7 @@ class McClient {
   std::vector<Conn> conns_;
   int epfd_ = -1;
   std::uint64_t errors_ = 0;
+  std::uint64_t reconnects_ = 0;
   std::string value_;
   std::size_t rr_ = 0;
 };

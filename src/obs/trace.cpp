@@ -35,6 +35,8 @@ const char* event_name(EventKind k) noexcept {
       return "deque_dead";
     case EventKind::kAcquireFail:
       return "acquire_fail";
+    case EventKind::kInject:
+      return "inject";
     case EventKind::kCount:
       break;
   }

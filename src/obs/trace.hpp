@@ -51,6 +51,8 @@ enum class EventKind : std::uint16_t {
   kTimerFire,     ///< reactor fired a sleep timer
   kDequeDead,     ///< active deque exhausted and died
   kAcquireFail,   ///< acquire probe found a pool/bit empty
+  kInject,        ///< fault injection fired (level = inject::Point,
+                  ///< arg = action << 24 | delay-arg); see src/inject/
   kCount          ///< sentinel; not a real event
 };
 
