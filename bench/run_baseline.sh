@@ -22,6 +22,7 @@ done
 
 FIG1="$BUILD_DIR/bench/fig1_memcached_p99"
 MICRO="$BUILD_DIR/bench/micro_reactor_ops"
+REQTRACE="$BUILD_DIR/bench/micro_reqtrace"
 for bin in "$FIG1" "$MICRO"; do
   [ -x "$bin" ] || { echo "missing $bin — build first" >&2; exit 1; }
 done
@@ -29,7 +30,9 @@ done
 fig1_out=$(mktemp)
 micro_on=$(mktemp)
 micro_off=$(mktemp)
-trap 'rm -f "$fig1_out" "$micro_on" "$micro_off"' EXIT
+reqtrace_on=$(mktemp)
+reqtrace_off=$(mktemp)
+trap 'rm -f "$fig1_out" "$micro_on" "$micro_off" "$reqtrace_on" "$reqtrace_off"' EXIT
 
 echo "== fig1 (duration ${FIG1_DURATION}s per point) =="
 "$FIG1" "$FIG1_DURATION" | tee "$fig1_out"
@@ -37,6 +40,16 @@ echo "== micro_reactor_ops (pools on) =="
 "$MICRO" | tee "$micro_on"
 echo "== micro_reactor_ops (pools off) =="
 ICILK_IO_POOL=0 "$MICRO" | tee "$micro_off"
+# The request-tracing micro bench is optional (older build dirs lack it);
+# its JSON fields backfill to null rather than failing the baseline.
+if [ -x "$REQTRACE" ]; then
+  echo "== micro_reqtrace (pools on) =="
+  "$REQTRACE" | tee "$reqtrace_on"
+  echo "== micro_reqtrace (pools off) =="
+  ICILK_IO_POOL=0 "$REQTRACE" | tee "$reqtrace_off"
+else
+  echo "== micro_reqtrace missing; recording null =="
+fi
 
 # fig1 rows: "<scheduler> <rps> <p99ms> <p95ms> <n> <err>"
 fig1_json() {
@@ -64,15 +77,39 @@ micro_json() {
 
 GIT_SHA=$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)
 
+# Build-flag provenance from the build dir's CMake cache: a baseline from
+# a TRACE=OFF build is not comparable to one with tracing on, so the
+# flags ride in the JSON. Missing cache entries backfill to null.
+cache_flag() { # cache_flag <NAME> -> "ON"/"OFF"/null
+  local v
+  v=$(sed -n "s/^$1:BOOL=\(.*\)$/\1/p" "$BUILD_DIR/CMakeCache.txt" 2>/dev/null)
+  if [ -n "$v" ]; then echo "\"$v\""; else echo null; fi
+}
+
+# Emits a bench-output JSON array, or null when the capture file is empty
+# (binary missing / not built) so consumers can tell "not measured" from
+# "measured nothing".
+rows_or_null() { # rows_or_null <file> <json-fn>
+  if [ -s "$1" ]; then echo "[$("$2" "$1")]"; else echo null; fi
+}
+
 {
   echo "{"
   echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
   echo "  \"git_sha\": \"$GIT_SHA\","
   echo "  \"host_cores\": $(nproc),"
+  echo "  \"build_flags\": {"
+  echo "    \"ICILK_TRACE\": $(cache_flag ICILK_TRACE),"
+  echo "    \"ICILK_INJECT\": $(cache_flag ICILK_INJECT),"
+  echo "    \"ICILK_REQTRACE\": $(cache_flag ICILK_REQTRACE),"
+  echo "    \"ICILK_SANITIZE\": $(sed -n 's/^ICILK_SANITIZE:STRING=\(.*\)$/"\1"/p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null | grep . || echo null)"
+  echo "  },"
   echo "  \"fig1_duration_s\": $FIG1_DURATION,"
   echo "  \"fig1\": [$(fig1_json "$fig1_out")],"
   echo "  \"micro_reactor_pools_on\": [$(micro_json "$micro_on")],"
-  echo "  \"micro_reactor_pools_off\": [$(micro_json "$micro_off")]"
+  echo "  \"micro_reactor_pools_off\": [$(micro_json "$micro_off")],"
+  echo "  \"micro_reqtrace_pools_on\": $(rows_or_null "$reqtrace_on" micro_json),"
+  echo "  \"micro_reqtrace_pools_off\": $(rows_or_null "$reqtrace_off" micro_json)"
   echo "}"
 } > "$OUT"
 

@@ -12,8 +12,19 @@
 #             runtime) contain no reference to any inject symbol, and
 #             (b) micro_inject_overhead's probe loop costs the same as its
 #             plain baseline loop.
+#   attribution
+#             run bench/attribution_smoke against the default build: a
+#             live minicached under TCP load, then scrape /metrics and
+#             /latency and assert the phase histograms are non-empty and
+#             the worst-K timelines parse.
+#   reqoff    build with ICILK_TRACE=OFF ICILK_REQTRACE=OFF and prove the
+#             request-tracing compile-out: (a) the hot-path objects carry
+#             no live ReqContext/TLS-binding symbols, and (b)
+#             micro_reqtrace's attributed runtime loop costs the same as
+#             its unattributed baseline loop.
 #
-# Usage: scripts/soak.sh [tsan|asan|offcheck|all] [soak-duration-s] [seed]
+# Usage: scripts/soak.sh [tsan|asan|offcheck|attribution|reqoff|all] \
+#                        [soak-duration-s] [seed]
 set -uo pipefail
 
 PHASE="${1:-all}"
@@ -106,17 +117,92 @@ run_offcheck_phase() {
   fi
 }
 
+run_attribution_phase() {
+  local dir="$REPO_ROOT/build"
+  note "attribution: building (default flags)"
+  if ! build "$dir"; then
+    fail "attribution build"
+    return
+  fi
+  note "attribution: bench/attribution_smoke"
+  if ! "$dir/bench/attribution_smoke"; then
+    fail "attribution smoke (minicached /metrics + /latency scrape)"
+  fi
+}
+
+run_reqoff_phase() {
+  local dir="$REPO_ROOT/build-soak-reqoff"
+  note "reqoff: building (ICILK_TRACE=OFF ICILK_REQTRACE=OFF)"
+  if ! build "$dir" -DICILK_TRACE=OFF -DICILK_REQTRACE=OFF; then
+    fail "reqoff build"
+    return
+  fi
+
+  # (a) No live request-tracing machinery in the hot-path objects: the
+  # TLS binding accessors and ReqContext member functions must be absent.
+  # (ReqContext may still appear as a mangled POINTER PARAMETER type,
+  # "...10ReqContextE", in always-compiled signatures — that is a type
+  # name, not code; the grep matches members, "ReqContext<len><name>".)
+  note "reqoff: hot-path objects carry no request-tracing symbols"
+  local objs=(
+    "src/io/CMakeFiles/icilk_io.dir/reactor.cpp.o"
+    "src/core/CMakeFiles/icilk_core.dir/prompt_scheduler.cpp.o"
+    "src/core/CMakeFiles/icilk_core.dir/runtime.cpp.o"
+  )
+  local o
+  for o in "${objs[@]}"; do
+    if [ ! -f "$dir/$o" ]; then
+      fail "reqoff: missing object $o"
+      continue
+    fi
+    if nm "$dir/$o" | grep -q 'req_set_current\|req_thread_ring\|req_thread_where\|ReqContext[0-9]'; then
+      fail "reqoff: $o still references request-tracing symbols:"
+      nm "$dir/$o" | grep 'req_set_current\|req_thread_ring\|req_thread_where\|ReqContext[0-9]' | head -5
+    else
+      echo "clean: $o"
+    fi
+  done
+
+  # (b) req_begin/req_end folded to stubs: the attributed runtime loop in
+  # micro_reqtrace must cost the same as its unattributed baseline
+  # (<1.4x; live attribution shows ~2x on this loop).
+  note "reqoff: micro_reqtrace attributed == baseline"
+  local out base probe
+  out="$("$dir/bench/micro_reqtrace" 2>/dev/null)"
+  echo "$out"
+  base="$(echo "$out" | awk '/mode=runtime_base/ { for (i=1;i<=NF;i++) if ($i ~ /^ns_per_op=/) { sub("ns_per_op=","",$i); print $i } }')"
+  probe="$(echo "$out" | awk '/mode=runtime / { for (i=1;i<=NF;i++) if ($i ~ /^ns_per_op=/) { sub("ns_per_op=","",$i); print $i } }')"
+  if [ -z "$base" ] || [ -z "$probe" ]; then
+    fail "reqoff: could not parse micro_reqtrace output"
+  elif ! awk -v b="$base" -v p="$probe" 'BEGIN { exit !(p <= b * 1.4) }'; then
+    fail "reqoff: attributed loop ${probe}ns vs baseline ${base}ns (>1.4x)"
+  else
+    echo "runtime_base=${base}ns runtime=${probe}ns"
+  fi
+
+  # The OFF build must still pass its own tests (obs label: the class
+  # stays compiled, hook-dependent cases skip).
+  note "reqoff: ctest -L obs (OFF build)"
+  if ! (cd "$dir" && ctest -L obs --output-on-failure -j 2); then
+    fail "reqoff ctest -L obs"
+  fi
+}
+
 case "$PHASE" in
   tsan) run_sanitizer_phase tsan thread ;;
   asan) run_sanitizer_phase asan address ;;
   offcheck) run_offcheck_phase ;;
+  attribution) run_attribution_phase ;;
+  reqoff) run_reqoff_phase ;;
   all)
     run_sanitizer_phase tsan thread
     run_sanitizer_phase asan address
     run_offcheck_phase
+    run_attribution_phase
+    run_reqoff_phase
     ;;
   *)
-    echo "usage: scripts/soak.sh [tsan|asan|offcheck|all] [duration-s] [seed]" >&2
+    echo "usage: scripts/soak.sh [tsan|asan|offcheck|attribution|reqoff|all] [duration-s] [seed]" >&2
     exit 2
     ;;
 esac

@@ -29,11 +29,22 @@ EmailServer::EmailServer(const Config& cfg, std::unique_ptr<Scheduler> sched)
   for (int i = 0; i < cfg_.num_users; ++i) {
     boxes_.push_back(std::make_unique<Mailbox>());
   }
+  if (cfg_.metrics_port >= 0) {
+    net::MetricsHttpServer::Config mc;
+    mc.port = static_cast<std::uint16_t>(cfg_.metrics_port);
+    metrics_http_ =
+        std::make_unique<net::MetricsHttpServer>(*rt_, nullptr, mc);
+  }
 }
 
 EmailServer::~EmailServer() {
   drain();
+  metrics_http_.reset();  // before the runtime: its tasks run inside rt_
   rt_->shutdown();
+}
+
+int EmailServer::metrics_port() const noexcept {
+  return metrics_http_ ? metrics_http_->port() : 0;
 }
 
 Priority EmailServer::priority_of(EmailOp op) const {
@@ -55,6 +66,9 @@ void EmailServer::inject(EmailOp op, int user, std::uint64_t arrival_ns) {
   const std::uint64_t seed =
       op_seed_.fetch_add(1, std::memory_order_relaxed) + cfg_.seed;
   rt_->submit(priority_of(op), [this, op, user, arrival_ns, seed] {
+    // Attribute from the open-loop arrival: scheduler queueing under
+    // overload lands in the "queueing" phase, matching what hist_ sees.
+    rt_->req_begin(arrival_ns);
     switch (op) {
       case EmailOp::Send:
         op_send(user, seed);
@@ -69,6 +83,7 @@ void EmailServer::inject(EmailOp op, int user, std::uint64_t arrival_ns) {
         op_print(user);
         break;
     }
+    rt_->req_end();
     hist_[static_cast<int>(op)].record(now_ns() - arrival_ns);
     outstanding_.fetch_sub(1, std::memory_order_acq_rel);
   });

@@ -26,6 +26,7 @@
 #include "concurrent/spinlock.hpp"
 #include "core/runtime.hpp"
 #include "load/histogram.hpp"
+#include "net/metrics_http.hpp"
 
 namespace icilk::apps {
 
@@ -46,6 +47,9 @@ class EmailServer {
     Priority sort_priority = 1;
     Priority compress_priority = 0;
     Priority print_priority = 0;
+    /// HTTP exposition endpoint (GET /metrics, GET /latency) with a small
+    /// private reactor: -1 = disabled, 0 = ephemeral port, else fixed.
+    int metrics_port = -1;
   };
 
   EmailServer(const Config& cfg, std::unique_ptr<Scheduler> sched);
@@ -66,6 +70,8 @@ class EmailServer {
   }
   Runtime& runtime() noexcept { return *rt_; }
   Priority priority_of(EmailOp op) const;
+  /// Port of the HTTP exposition endpoint; 0 when disabled.
+  int metrics_port() const noexcept;
 
   /// Total messages currently stored (tests/sanity).
   std::size_t total_messages() const;
@@ -91,6 +97,7 @@ class EmailServer {
 
   Config cfg_;
   std::unique_ptr<Runtime> rt_;
+  std::unique_ptr<net::MetricsHttpServer> metrics_http_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   load::Histogram hist_[kEmailOpCount];
   std::atomic<std::uint64_t> outstanding_{0};

@@ -28,11 +28,22 @@ JobServer::JobServer(const Config& cfg, std::unique_ptr<Scheduler> sched)
   ints_ = gen_ints(cfg_.sort_n, cfg_.seed + 2);
   dna_a_ = gen_dna(cfg_.sw_n, cfg_.seed + 3);
   dna_b_ = gen_dna(cfg_.sw_n, cfg_.seed + 4);
+  if (cfg_.metrics_port >= 0) {
+    net::MetricsHttpServer::Config mc;
+    mc.port = static_cast<std::uint16_t>(cfg_.metrics_port);
+    metrics_http_ =
+        std::make_unique<net::MetricsHttpServer>(*rt_, nullptr, mc);
+  }
 }
 
 JobServer::~JobServer() {
   drain();
+  metrics_http_.reset();  // before the runtime: its tasks run inside rt_
   rt_->shutdown();
+}
+
+int JobServer::metrics_port() const noexcept {
+  return metrics_http_ ? metrics_http_->port() : 0;
 }
 
 Priority JobServer::priority_of(JobType t) const {
@@ -74,7 +85,12 @@ void JobServer::run_job(JobType t) {
 void JobServer::inject(JobType t, std::uint64_t arrival_ns) {
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   rt_->submit(priority_of(t), [this, t, arrival_ns] {
+    // Attribute from the open-loop arrival; the job's internal spawn/sync
+    // parallelism rides the root chain (children tag I/O, the root drives
+    // phases — see obs/reqtrace.hpp).
+    rt_->req_begin(arrival_ns);
     run_job(t);
+    rt_->req_end();
     hist_[static_cast<int>(t)].record(now_ns() - arrival_ns);
     outstanding_.fetch_sub(1, std::memory_order_acq_rel);
   });

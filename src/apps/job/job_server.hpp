@@ -17,6 +17,7 @@
 
 #include "core/runtime.hpp"
 #include "load/histogram.hpp"
+#include "net/metrics_http.hpp"
 
 namespace icilk::apps {
 
@@ -41,6 +42,9 @@ class JobServer {
     Priority fib_priority = 2;
     Priority sort_priority = 1;
     Priority sw_priority = 0;
+    /// HTTP exposition endpoint (GET /metrics, GET /latency) with a small
+    /// private reactor: -1 = disabled, 0 = ephemeral port, else fixed.
+    int metrics_port = -1;
   };
 
   JobServer(const Config& cfg, std::unique_ptr<Scheduler> sched);
@@ -56,6 +60,8 @@ class JobServer {
   load::Histogram& histogram(JobType t) { return hist_[static_cast<int>(t)]; }
   Runtime& runtime() noexcept { return *rt_; }
   Priority priority_of(JobType t) const;
+  /// Port of the HTTP exposition endpoint; 0 when disabled.
+  int metrics_port() const noexcept;
 
   /// Serial reference runtimes (rough), for tests asserting the
   /// shortest-job-first size ordering.
@@ -66,6 +72,7 @@ class JobServer {
 
   Config cfg_;
   std::unique_ptr<Runtime> rt_;
+  std::unique_ptr<net::MetricsHttpServer> metrics_http_;
   // Pre-generated immutable inputs (jobs copy what they mutate).
   std::vector<double> mat_a_, mat_b_;
   std::vector<std::uint32_t> ints_;

@@ -12,6 +12,7 @@
 
 #include "core/api.hpp"
 #include "net/socket.hpp"
+#include "obs/exposition.hpp"
 
 namespace icilk::apps {
 
@@ -29,6 +30,12 @@ ICilkMcServer::ICilkMcServer(const Config& cfg,
     std::abort();
   }
   port_ = net::local_port(listen_fd_);
+  if (cfg_.metrics_port >= 0) {
+    net::MetricsHttpServer::Config mc;
+    mc.port = static_cast<std::uint16_t>(cfg_.metrics_port);
+    metrics_http_ = std::make_unique<net::MetricsHttpServer>(
+        *rt_, reactor_.get(), mc, [this] { return store_metrics_text(); });
+  }
   acceptor_done_ =
       rt_->submit(cfg_.conn_priority, [this] { acceptor_routine(); });
   crawler_done_ =
@@ -98,14 +105,26 @@ void ICilkMcServer::connection_routine(int fd) {
     // Synchronous-looking read: blocks THIS TASK, not the worker.
     const ssize_t n = reactor_->read_some(fd, buf, sizeof(buf));
     if (n <= 0) break;  // EOF, reset, or shutdown via stop()
+    // One read batch = one attributed request: queueing/executing/
+    // suspended-io phases from here to the response write land in the
+    // per-level histograms (and the worst-K timeline reservoir).
+    rt_->req_begin();
     parser.feed(buf, static_cast<std::size_t>(n));
     out.clear();
     bool keep = true;
+    std::size_t commands = 0;
     while (parser.next(req)) {
+      ++commands;
       if (req.verb == kv::Verb::Stats) {
         if (!req.keys.empty() && req.keys[0] == "icilk") {
-          // `stats icilk`: only the scheduler-observability group.
-          out += icilk_stats_text();
+          if (req.keys.size() > 1 && req.keys[1] == "latency") {
+            // `stats icilk latency`: request-latency attribution only —
+            // per-level/per-phase percentiles plus worst-K timelines.
+            out += obs::latency_stats_text(rt_->metrics(), "icilk_", "\r\n");
+          } else {
+            // `stats icilk`: only the scheduler-observability group.
+            out += icilk_stats_text();
+          }
           out += "END\r\n";
           continue;
         }
@@ -123,7 +142,14 @@ void ICilkMcServer::connection_routine(int fd) {
     }
     if (!out.empty() &&
         reactor_->write_all(fd, out.data(), out.size()) < 0) {
+      rt_->req_abort();
       break;
+    }
+    // Partial commands (parser still hungry) don't count as a request.
+    if (commands > 0) {
+      rt_->req_end();
+    } else {
+      rt_->req_abort();
     }
     if (!keep) break;  // quit command
   }
@@ -243,7 +269,35 @@ std::string ICilkMcServer::icilk_stats_text() const {
   }
   // Per-level counters and promptness/aging percentiles.
   out += rt_->metrics().text("icilk_", "\r\n");
+  // Request-latency attribution (details via `stats icilk latency`).
+  out += obs::latency_stats_text(rt_->metrics(), "icilk_", "\r\n");
+  // Trace-ring overflow: nonzero dropped means the rings wrapped and the
+  // Chrome trace / flow view is incomplete for the oldest events.
+  for (const auto& r : rt_->trace_sink().ring_stats()) {
+    if (r.dropped != 0) {
+      out += "STAT icilk_trace_dropped_" + r.name + " " +
+             std::to_string(r.dropped) + "\r\n";
+    }
+  }
   return out;
+}
+
+int ICilkMcServer::metrics_port() const noexcept {
+  return metrics_http_ ? metrics_http_->port() : 0;
+}
+
+std::string ICilkMcServer::store_metrics_text() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "# TYPE minicached_items gauge\n"
+                "minicached_items %zu\n"
+                "# TYPE minicached_bytes gauge\n"
+                "minicached_bytes %zu\n"
+                "# TYPE minicached_connections gauge\n"
+                "minicached_connections %d\n",
+                store_.item_count(), store_.bytes_used(),
+                active_conns_.load(std::memory_order_relaxed));
+  return std::string(buf);
 }
 
 void ICilkMcServer::stop() {
@@ -266,6 +320,7 @@ void ICilkMcServer::stop() {
   }
   crawler_done_.get();
   if (snapshot_done_.valid()) snapshot_done_.get();
+  if (metrics_http_) metrics_http_->stop();
   ::close(listen_fd_);
 
   // Reactor threads stop before the runtime so no completion can race

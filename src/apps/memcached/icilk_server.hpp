@@ -28,6 +28,7 @@
 #include "io/reactor.hpp"
 #include "kv/protocol.hpp"
 #include "kv/store.hpp"
+#include "net/metrics_http.hpp"
 
 namespace icilk::apps {
 
@@ -44,6 +45,9 @@ class ICilkMcServer {
     /// external storage" thread): path for periodic snapshots; empty = off.
     std::string snapshot_path;
     int snapshot_interval_ms = 2000;
+    /// HTTP exposition endpoint (GET /metrics, GET /latency) sharing the
+    /// server's reactor: -1 = disabled, 0 = ephemeral port, else fixed.
+    int metrics_port = -1;
   };
 
   ICilkMcServer(const Config& cfg, std::unique_ptr<Scheduler> sched);
@@ -53,6 +57,8 @@ class ICilkMcServer {
   ICilkMcServer& operator=(const ICilkMcServer&) = delete;
 
   int port() const noexcept { return port_; }
+  /// Port of the HTTP exposition endpoint; 0 when disabled.
+  int metrics_port() const noexcept;
   kv::Store& store() noexcept { return store_; }
   Runtime& runtime() noexcept { return *rt_; }
   IoReactor& reactor() noexcept { return *reactor_; }
@@ -77,6 +83,8 @@ class ICilkMcServer {
  private:
   void acceptor_routine();
   void connection_routine(int fd);
+  /// App-specific Prometheus series appended to GET /metrics.
+  std::string store_metrics_text() const;
   void crawler_routine();
   void snapshot_routine();
   void track(int fd);
@@ -85,6 +93,7 @@ class ICilkMcServer {
   Config cfg_;
   std::unique_ptr<Runtime> rt_;
   std::unique_ptr<IoReactor> reactor_;
+  std::unique_ptr<net::MetricsHttpServer> metrics_http_;
   kv::Store store_;
   int listen_fd_ = -1;
   int port_ = 0;

@@ -29,6 +29,7 @@
 #include "concurrent/spinlock.hpp"
 #include "core/task.hpp"
 #include "core/types.hpp"
+#include "obs/reqtrace.hpp"
 
 namespace icilk {
 
@@ -68,21 +69,33 @@ class Deque : public RefCounted {
     return f;
   }
 
-  /// Active -> Suspended; `bottom` is the fiber blocked on a get.
-  void suspend(TaskFiber* bottom) {
+  /// Active -> Suspended; `bottom` is the fiber blocked on a get. `rc` /
+  /// `owner` are the bottom fiber's request binding (passed rather than
+  /// read from `bottom` — the deque never dereferences its fibers); the
+  /// suspend/resume phase transitions run under mu_, which is what
+  /// serializes the ReqContext phase machine.
+  void suspend(TaskFiber* bottom, obs::ReqContext* rc = nullptr,
+               bool owner = false) {
     LockGuard<SpinLock> g(mu_);
     assert(state_.load(std::memory_order_relaxed) == State::Active);
     bottom_ = bottom_continuation(bottom);
+    req_ = rc;
+    req_owner_ = owner;
+    obs::req_hook_suspend(rc, owner);
     state_.store(State::Suspended, std::memory_order_release);
     update_census();
   }
 
   /// Active -> Resumable directly: the worker abandons this deque to go
   /// work at a higher priority ("immediately resumable", Section 4).
-  void abandon(TaskFiber* bottom) {
+  void abandon(TaskFiber* bottom, obs::ReqContext* rc = nullptr,
+               bool owner = false) {
     LockGuard<SpinLock> g(mu_);
     assert(state_.load(std::memory_order_relaxed) == State::Active);
     bottom_ = bottom_continuation(bottom);
+    req_ = rc;
+    req_owner_ = owner;
+    obs::req_hook_runnable(rc, owner);
     resumable_at_ns_.store(now_ns(), std::memory_order_relaxed);
     state_.store(State::Resumable, std::memory_order_release);
     update_census();
@@ -105,6 +118,7 @@ class Deque : public RefCounted {
   void make_resumable() {
     LockGuard<SpinLock> g(mu_);
     assert(state_.load(std::memory_order_relaxed) == State::Suspended);
+    obs::req_hook_runnable(req_, req_owner_);
     resumable_at_ns_.store(now_ns(), std::memory_order_relaxed);
     state_.store(State::Resumable, std::memory_order_release);
     update_census();
@@ -182,6 +196,7 @@ class Deque : public RefCounted {
                                   std::atomic<std::int64_t>* census) {
     auto d = Ref<Deque>::adopt(new Deque(c.priority, census));
     d->bottom_ = std::move(c);
+    d->req_ = d->bottom_.req;  // tossed children never own the request
     d->resumable_at_ns_.store(now_ns(), std::memory_order_relaxed);
     d->state_.store(State::Resumable, std::memory_order_release);
     LockGuard<SpinLock> g(d->mu_);
@@ -231,6 +246,11 @@ class Deque : public RefCounted {
   std::atomic<std::size_t> entry_count_{0};
   std::atomic<bool> in_queue_{false};
   std::atomic<std::uint64_t> resumable_at_ns_{0};  // aging-delay stamp
+  // Request binding of the parked bottom fiber (guarded by mu_); lets
+  // make_resumable() fire the runnable phase hook without dereferencing
+  // the fiber pointer (which structural unit tests fake with sentinels).
+  obs::ReqContext* req_ = nullptr;
+  bool req_owner_ = false;
   bool counted_ = false;  // guarded by mu_
 };
 

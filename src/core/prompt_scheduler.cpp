@@ -241,7 +241,12 @@ bool PromptScheduler::process_candidate(Worker& w, Ref<Deque> d, Priority h) {
       const std::uint64_t now = now_ns();
       rt_->metrics().record_aging(h, now > since ? now - since : 0);
     }
-    ICILK_TRACE_RECORD(w.trace, obs::EventKind::kMug, h, 0);
+    // arg carries the mugged request's id (low 32 bits) so Chrome-trace
+    // flows can follow a request across workers; 0 when untagged.
+    ICILK_TRACE_RECORD(w.trace, obs::EventKind::kMug, h,
+                       c.resume != nullptr && c.resume->st.req != nullptr
+                           ? static_cast<std::uint32_t>(c.resume->st.req->id)
+                           : 0);
     Ref<Deque> keep = d;  // our active reference
     if (d->has_entries()) {
       requeue_regular(std::move(d));  // still stealable: back to the tail
@@ -258,7 +263,10 @@ bool PromptScheduler::process_candidate(Worker& w, Ref<Deque> d, Priority h) {
   if (TaskFiber* f = d->steal_top()) {
     w.stats.steals++;
     rt_->metrics().count(obs::EventKind::kSteal, h);
-    ICILK_TRACE_RECORD(w.trace, obs::EventKind::kSteal, h, 0);
+    ICILK_TRACE_RECORD(w.trace, obs::EventKind::kSteal, h,
+                       f->st.req != nullptr
+                           ? static_cast<std::uint32_t>(f->st.req->id)
+                           : 0);
     if (d->stealable_or_resumable()) {
       requeue_regular(std::move(d));
     } else {
@@ -375,7 +383,7 @@ void PromptScheduler::pre_op_check(Worker& w) {
   rt_->park_current([this, self] {
     Worker& w2 = *this_worker();
     Ref<Deque> d = std::move(w2.active);
-    d->abandon(self);
+    d->abandon(self, self->st.req, self->st.req_owner);
     const Priority p = d->priority();
     if (d->mark_enqueued()) {
       pools_[p]->push_mugging(std::move(d));

@@ -70,6 +70,10 @@ void Runtime::worker_main(Worker& w) {
   tls_worker = &w;
   // Injected decisions on this worker land in its own trace ring.
   inject::set_thread_trace_ring(w.trace);
+  // Request timelines stamp hops with the worker id and span records go
+  // into the worker's own ring.
+  obs::req_set_thread_where(w.id);
+  obs::req_set_thread_ring(w.trace);
   for (;;) {
     if (!w.next.valid()) {
       if (w.active) retire_active(w);
@@ -80,6 +84,8 @@ void Runtime::worker_main(Worker& w) {
     }
     run_next(w);
   }
+  obs::req_set_thread_ring(nullptr);
+  obs::req_set_thread_where(obs::ReqHop::kNoWhere);
   inject::set_thread_trace_ring(nullptr);
   tls_worker = nullptr;
 }
@@ -108,6 +114,7 @@ void Runtime::run_next(Worker& w) {
     tf->st.parent = c.parent;
     tf->st.future = std::move(c.future);
     tf->st.priority = c.priority;
+    tf->st.req = c.req;  // inherited; fresh closures are never owners
     tf->fiber.prepare(
         [this, tf, body = std::move(c.start)](Fiber&) mutable {
           try {
@@ -132,10 +139,12 @@ void Runtime::run_next(Worker& w) {
   }
 
   assert(tf->st.priority == w.level);
+  obs::req_hook_dispatch(tf->st.req, tf->st.req_owner);
   w.current = tf;
   const std::uint64_t t0 = now_ticks();
   switch_context(w.sched_ctx, tf->fiber.context());
   w.stats.work_ticks.add(now_ticks() - t0);
+  obs::req_hook_undispatch();
   w.current = nullptr;
   if (w.post_switch) {
     auto publish = std::move(w.post_switch);
@@ -163,6 +172,24 @@ void Runtime::park_current(PostSwitchFn publish) {
 void Runtime::finish_task(TaskFiber* tf) {
   Worker* w = this_worker();
   w->stats.tasks_run++;
+
+#if ICILK_REQTRACE_ENABLED
+  if (tf->st.req != nullptr) {
+    if (tf->st.req_owner) {
+      // Safety net: the root task ended without req_end (early return or
+      // exception path). Record the timeline rather than leak/lose it.
+      obs::ReqContext* rc = tf->st.req;
+      const std::uint64_t total = rc->close();
+      ICILK_TRACE_RECORD(w->trace, obs::EventKind::kReqEnd, tf->st.priority,
+                         static_cast<std::uint32_t>(rc->id));
+      metrics_.record_request(*rc, total);
+      obs::ReqContext::destroy(rc);
+    }
+    tf->st.req = nullptr;
+    tf->st.req_owner = false;
+    obs::req_set_current(nullptr);
+  }
+#endif
 
   // Thanks to the implicit sync, our own children are quiescent.
   assert(tf->st.frame.joins.load(std::memory_order_relaxed) == 0);
@@ -273,7 +300,7 @@ void Runtime::spawn_linked(Priority p, Closure body) {
     // Cross-priority spawn: "a deque is generated to store the subroutine
     // and tossed to the appropriate priority level" (footnote 3). The
     // parent keeps running; sync() still joins the child.
-    toss_task(p, std::move(body), nullptr, &self->st.frame);
+    toss_task(p, std::move(body), nullptr, &self->st.frame, self->st.req);
     return;
   }
 
@@ -284,6 +311,7 @@ void Runtime::spawn_linked(Priority p, Closure body) {
     assert(!w2.next.valid());
     w2.next =
         Continuation::of_closure(std::move(body), &self->st.frame, nullptr, p);
+    w2.next.req = self->st.req;  // child serves the same request (non-owner)
   });
   // Resumed: serially after the child finished, by a thief who stole our
   // continuation, or by a mug if the deque suspended below us.
@@ -308,7 +336,7 @@ void Runtime::fut_spawn(Priority p, Closure body, Ref<FutureStateBase> fut) {
   if (target != cur) {
     // Future routines are not joined by sync (they are joined by get), so
     // no parent frame is linked.
-    toss_task(target, std::move(body), std::move(fut), nullptr);
+    toss_task(target, std::move(body), std::move(fut), nullptr, self->st.req);
     return;
   }
 
@@ -322,15 +350,17 @@ void Runtime::fut_spawn(Priority p, Closure body, Ref<FutureStateBase> fut) {
         assert(!w2.next.valid());
         w2.next = Continuation::of_closure(std::move(body), nullptr,
                                            std::move(fut), target);
+        w2.next.req = self->st.req;
       });
 }
 
 void Runtime::toss_task(Priority p, Closure body, Ref<FutureStateBase> fut,
-                        Frame* parent) {
+                        Frame* parent, obs::ReqContext* req) {
   assert(p >= 0 && p <= kMaxPriority);
   if (fut) fut->set_routine_priority(p);
   auto c =
       Continuation::of_closure(std::move(body), parent, std::move(fut), p);
+  c.req = req;
   auto d = Deque::new_resumable(std::move(c), census_slot(p));
   resumable(std::move(d));
 }
@@ -356,7 +386,7 @@ void Runtime::sync_impl() {
     Worker& w2 = *this_worker();
     Frame& fr2 = self->st.frame;
     Ref<Deque> d = w2.active;
-    d->suspend(self);
+    d->suspend(self, self->st.req, self->st.req_owner);
     sched_->on_suspend(w2, *d);
     w2.active.reset();
 
@@ -387,6 +417,63 @@ Priority Runtime::current_priority() const {
   Worker* w = this_worker();
   assert(w != nullptr && w->current != nullptr);
   return w->current->st.priority;
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped causal tracing (obs/reqtrace.hpp)
+// ---------------------------------------------------------------------------
+
+std::uint64_t Runtime::req_begin(std::uint64_t arrival_ns) {
+#if ICILK_REQTRACE_ENABLED
+  Worker* w = this_worker();
+  assert(w != nullptr && w->current != nullptr &&
+         "req_begin must be called from task code");
+  TaskFiber* self = w->current;
+  if (self->st.req != nullptr) {
+    // Already serving a request (nested begin, or a child task): keep it.
+    return self->st.req_owner ? self->st.req->id : 0;
+  }
+  obs::ReqContext* rc = obs::ReqContext::create();
+  rc->start(metrics_.next_request_id(),
+            static_cast<std::uint16_t>(self->st.priority), arrival_ns);
+  self->st.req = rc;
+  self->st.req_owner = true;
+  obs::req_set_current(rc);
+  ICILK_TRACE_RECORD(w->trace, obs::EventKind::kReqBegin, self->st.priority,
+                     static_cast<std::uint32_t>(rc->id));
+  rc->enter(obs::ReqPhase::kExecuting);
+  return rc->id;
+#else
+  (void)arrival_ns;
+  return 0;
+#endif
+}
+
+void Runtime::req_end() { req_finish(true); }
+void Runtime::req_abort() { req_finish(false); }
+
+void Runtime::req_finish(bool record) {
+#if ICILK_REQTRACE_ENABLED
+  Worker* w = this_worker();
+  assert(w != nullptr && w->current != nullptr);
+  TaskFiber* self = w->current;
+  if (self->st.req == nullptr || !self->st.req_owner) return;
+  // Join spawned children first: they carry the context pointer for I/O
+  // tagging and must not outlive it.
+  sync_impl();
+  w = this_worker();  // the sync may have migrated us
+  obs::ReqContext* rc = self->st.req;
+  const std::uint64_t total = rc->close();
+  ICILK_TRACE_RECORD(w->trace, obs::EventKind::kReqEnd, self->st.priority,
+                     static_cast<std::uint32_t>(rc->id));
+  if (record) metrics_.record_request(*rc, total);
+  self->st.req = nullptr;
+  self->st.req_owner = false;
+  obs::req_set_current(nullptr);
+  obs::ReqContext::destroy(rc);
+#else
+  (void)record;
+#endif
 }
 
 // ---------------------------------------------------------------------------
@@ -423,7 +510,7 @@ void future_wait(FutureStateBase& st) {
   rt.park_current([&rt, &st, self = w->current] {
     Worker& w2 = *this_worker();
     Ref<Deque> d = w2.active;
-    d->suspend(self);
+    d->suspend(self, self->st.req, self->st.req_owner);
     rt.scheduler().on_suspend(w2, *d);
     w2.active.reset();
     if (!st.add_waiter(d)) {

@@ -95,6 +95,30 @@ class Runtime {
   /// Current task's priority (callable from task code only).
   Priority current_priority() const;
 
+  // ---- request-scoped causal tracing (obs/reqtrace.hpp) ----
+
+  /// Marks the current task as the root of a request that arrived at
+  /// `arrival_ns` (0 = now; pass the accept/read timestamp to fold dispatch
+  /// latency into the queueing phase). Allocates a pooled ReqContext and
+  /// binds it to the fiber chain: it follows the root through parks,
+  /// steals, mugs, abandonment, and I/O suspensions, and is inherited by
+  /// spawned children (for I/O-op tagging only). Returns the request id
+  /// (0 when ICILK_REQTRACE=OFF). Task code only; nested calls on a task
+  /// already owning a request return its existing id.
+  std::uint64_t req_begin(std::uint64_t arrival_ns = 0);
+
+  /// Ends the current task's request: joins outstanding spawned children
+  /// (so none keeps a stale context), folds the timeline into
+  /// metrics().record_request + the worst-K reservoir, emits the kReqEnd
+  /// trace record, and recycles the context. Future routines created by
+  /// the request must be joined (get) BEFORE req_end. No-op if the current
+  /// task owns no request.
+  void req_end();
+
+  /// Like req_end but discards the timeline (parse errors, aborted
+  /// connections) instead of recording it.
+  void req_abort();
+
   // ---- scheduler/reactor-facing internals ----
 
   /// Parks the calling fiber; `publish` runs on the worker's scheduler
@@ -173,9 +197,11 @@ class Runtime {
   void retire_active(Worker& w);
   void dispatch_woken(Worker& w, Ref<Deque> d);
 
-  /// Starts `body` as a tossed resumable deque at level p.
+  /// Starts `body` as a tossed resumable deque at level p. `req` (if any)
+  /// is the request the tossed child serves (inherited, never owned).
   void toss_task(Priority p, Closure body, Ref<FutureStateBase> fut,
-                 Frame* parent);
+                 Frame* parent, obs::ReqContext* req = nullptr);
+  void req_finish(bool record);
   /// spawn/fut_create engine for task-context callers.
   void fut_spawn(Priority p, Closure body, Ref<FutureStateBase> fut);
   void spawn_linked(Priority p, Closure body);

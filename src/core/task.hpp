@@ -28,6 +28,10 @@
 
 namespace icilk {
 
+namespace obs {
+class ReqContext;  // obs/reqtrace.hpp; tasks carry only the pointer
+}  // namespace obs
+
 /// Join bookkeeping for one task invocation: counts outstanding spawned
 /// children and holds the deque suspended at a failed sync (if any; the
 /// syncing fiber is that deque's bottom frame — a failed sync suspends the
@@ -80,12 +84,21 @@ struct TaskState {
   Priority priority = kDefaultPriority;
   Frame frame;                         ///< joins for OUR spawned children
 
+  /// Request attribution (obs/reqtrace.hpp): the request this task serves,
+  /// or null. Only the ROOT fiber of the request (req_owner) drives the
+  /// phase machine; children inherit the pointer so their I/O ops are
+  /// tagged, nothing more. Propagated at spawn, cleared at finish.
+  obs::ReqContext* req = nullptr;
+  bool req_owner = false;
+
   void reset() {
     rt = nullptr;
     parent = nullptr;
     future.reset();
     priority = kDefaultPriority;
     frame.reset();
+    req = nullptr;
+    req_owner = false;
   }
 };
 
@@ -104,6 +117,7 @@ struct Continuation {
   Frame* parent = nullptr;      ///< for fresh closures
   Ref<FutureStateBase> future;  ///< for fresh future routines
   Priority priority = kDefaultPriority;
+  obs::ReqContext* req = nullptr;  ///< request inherited by fresh closures
 
   bool valid() const noexcept { return resume != nullptr || bool(start); }
   void clear() {
@@ -111,6 +125,7 @@ struct Continuation {
     start = nullptr;
     parent = nullptr;
     future.reset();
+    req = nullptr;
   }
 
   static Continuation of_fiber(TaskFiber* f);

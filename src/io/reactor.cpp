@@ -183,6 +183,9 @@ void IoReactor::arm(Op* op) {
   // path. Recorded from the submitter side (worker ring, if any).
   rt_.trace_event(obs::EventKind::kIoSubmit, obs::TraceEvent::kNoLevel16,
                   static_cast<std::uint32_t>(op->fd));
+  // Tag the op with the submitting request and mark the imminent deque
+  // suspension as an I/O wait (suspended_io, not suspended_sync).
+  op->req_id = obs::req_hook_io_arm();
   rt_.metrics().io_count(obs::IoStat::kFdTableProbe);
   if (!table_.in_fast_range(op->fd)) {
     rt_.metrics().io_count(obs::IoStat::kFdTableOverflow);
@@ -270,6 +273,8 @@ Future<void> IoReactor::async_sleep(std::chrono::nanoseconds d) {
     fut->complete();
     return Future<void>(std::move(fut));
   }
+  // A timer wait counts as I/O for request attribution.
+  obs::req_hook_io_arm();
   const std::uint64_t deadline =
       now_ns() + static_cast<std::uint64_t>(d.count());
   TimerShard& s = *timer_shards_[static_cast<std::size_t>(thread_ordinal()) %
@@ -428,9 +433,13 @@ void IoReactor::handle_event(int fd, std::uint32_t gen, std::uint32_t events,
   }
   for (Op* op : {done_rd, done_wr}) {
     if (op == nullptr) continue;
+    // arg: the request id when the op was tagged (the Chrome-trace flow
+    // key), otherwise the fd.
     ICILK_TRACE_RECORD(ring, obs::EventKind::kIoComplete,
                        obs::TraceEvent::kNoLevel16,
-                       static_cast<std::uint32_t>(fd));
+                       op->req_id != 0
+                           ? static_cast<std::uint32_t>(op->req_id)
+                           : static_cast<std::uint32_t>(fd));
     op->fut->complete();
     OpPool::destroy(op);
   }
@@ -442,6 +451,10 @@ void IoReactor::io_thread_main(int thread_idx) {
   obs::TraceRing* ring =
       &rt_.trace_sink().acquire_ring("io" + std::to_string(thread_idx));
   inject::set_thread_trace_ring(ring);
+  // Request timelines stamp I/O-thread hops as -1-idx; the make_resumable
+  // a completion triggers emits its kReqPhase record into this ring.
+  obs::req_set_thread_where(-1 - thread_idx);
+  obs::req_set_thread_ring(ring);
   constexpr int kMaxEvents = 128;
   epoll_event events[kMaxEvents];
   while (!stop_.load(std::memory_order_acquire)) {
@@ -457,6 +470,8 @@ void IoReactor::io_thread_main(int thread_idx) {
       const std::uint64_t d = events[i].data.u64;
       if (d == kWakeMark) {
         if (stop_.load(std::memory_order_acquire)) {
+          obs::req_set_thread_ring(nullptr);
+          obs::req_set_thread_where(obs::ReqHop::kNoWhere);
           inject::set_thread_trace_ring(nullptr);
           return;
         }
@@ -474,6 +489,8 @@ void IoReactor::io_thread_main(int thread_idx) {
                    ring);
     }
   }
+  obs::req_set_thread_ring(nullptr);
+  obs::req_set_thread_where(obs::ReqHop::kNoWhere);
   inject::set_thread_trace_ring(nullptr);
 }
 

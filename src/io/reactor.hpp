@@ -133,6 +133,10 @@ class IoReactor {
     const void* cbuf = nullptr;
     std::size_t len = 0;
     Ref<FutureState<ssize_t>> fut;
+    /// Request the submitting task was serving (obs/reqtrace.hpp), 0 if
+    /// none — carried to the I/O thread so the completion record is
+    /// attributable to the request.
+    std::uint64_t req_id = 0;
   };
 
   using Table = FdTable<Op>;

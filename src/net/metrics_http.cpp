@@ -1,0 +1,170 @@
+#include "net/metrics_http.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+#include <thread>
+
+#include "core/api.hpp"
+#include "net/socket.hpp"
+#include "obs/exposition.hpp"
+
+namespace icilk::net {
+
+using namespace std::chrono_literals;
+
+MetricsHttpServer::MetricsHttpServer(Runtime& rt, IoReactor* shared_reactor,
+                                     const Config& cfg, ExtraTextFn extra)
+    : rt_(rt),
+      owned_reactor_(shared_reactor == nullptr
+                         ? std::make_unique<IoReactor>(
+                               rt, cfg.io_threads < 1 ? 1 : cfg.io_threads)
+                         : nullptr),
+      reactor_(shared_reactor != nullptr ? shared_reactor
+                                         : owned_reactor_.get()),
+      extra_(std::move(extra)),
+      priority_(cfg.priority >= 0
+                    ? static_cast<Priority>(cfg.priority)
+                    : static_cast<Priority>(rt.config().num_levels - 1)) {
+  listen_fd_ = listen_tcp(cfg.port);
+  if (listen_fd_ < 0) {
+    std::fprintf(stderr, "metrics-http: listen failed: %d\n", listen_fd_);
+    return;
+  }
+  port_ = local_port(listen_fd_);
+  acceptor_done_ = rt_.submit(priority_, [this] { acceptor_routine(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::track(int fd) {
+  LockGuard<SpinLock> g(conns_mu_);
+  conn_fds_.insert(fd);
+  active_conns_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsHttpServer::untrack(int fd) {
+  LockGuard<SpinLock> g(conns_mu_);
+  conn_fds_.erase(fd);
+  active_conns_.fetch_sub(1, std::memory_order_release);
+}
+
+void MetricsHttpServer::acceptor_routine() {
+  auto backoff = std::chrono::milliseconds(1);
+  for (;;) {
+    const ssize_t cfd = reactor_->accept(listen_fd_);
+    if (stop_.load(std::memory_order_acquire)) {
+      if (cfd >= 0) ::close(static_cast<int>(cfd));
+      return;
+    }
+    if (cfd < 0) {
+      reactor_->sleep_for(backoff);
+      backoff = std::min(backoff * 2, std::chrono::milliseconds(100));
+      continue;
+    }
+    backoff = std::chrono::milliseconds(1);
+    set_nodelay(static_cast<int>(cfd));
+    track(static_cast<int>(cfd));
+    fut_create([this, fd = static_cast<int>(cfd)] {
+      connection_routine(fd);
+    });
+  }
+}
+
+void MetricsHttpServer::connection_routine(int fd) {
+  // A scrape is itself a request: attribute the handler's own latency so
+  // the endpoint shows up in its own phase histograms.
+  rt_.req_begin();
+  char buf[4096];
+  std::size_t have = 0;
+  // Scrape requests are one GET with few headers; read until the blank
+  // line (or the client half-closes) and answer once.
+  while (have < sizeof(buf) - 1) {
+    const ssize_t n =
+        reactor_->read_some(fd, buf + have, sizeof(buf) - 1 - have);
+    if (n <= 0) break;
+    have += static_cast<std::size_t>(n);
+    buf[have] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+        std::strstr(buf, "\n\n") != nullptr) {
+      break;
+    }
+  }
+  if (have > 0) {
+    const std::string resp = respond(buf, have);
+    reactor_->write_all(fd, resp.data(), resp.size());
+  }
+  rt_.req_end();
+  reactor_->close_fd(fd);
+  untrack(fd);
+}
+
+std::string MetricsHttpServer::respond(const char* req,
+                                       std::size_t len) const {
+  const std::string_view head(req, len);
+  std::string body;
+  const char* content_type = "text/plain; charset=utf-8";
+  const char* status = "200 OK";
+  if (head.rfind("GET ", 0) != 0) {
+    status = "405 Method Not Allowed";
+    body = "only GET is served here\n";
+  } else {
+    const std::size_t sp = head.find(' ', 4);
+    const std::string_view path =
+        head.substr(4, sp == std::string_view::npos ? head.size() - 4
+                                                    : sp - 4);
+    if (path == "/metrics") {
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+      body = obs::prometheus_text(rt_.metrics(), &rt_.trace_sink(),
+                                  extra_ ? extra_() : std::string());
+    } else if (path == "/latency") {
+      content_type = "application/json";
+      body = obs::latency_json(rt_.metrics());
+    } else {
+      status = "404 Not Found";
+      body = "try /metrics or /latency\n";
+    }
+  }
+  char head_buf[256];
+  const int hn = std::snprintf(head_buf, sizeof(head_buf),
+                               "HTTP/1.0 %s\r\n"
+                               "Content-Type: %s\r\n"
+                               "Content-Length: %zu\r\n"
+                               "Connection: close\r\n"
+                               "\r\n",
+                               status, content_type, body.size());
+  std::string out(head_buf, static_cast<std::size_t>(hn));
+  out += body;
+  return out;
+}
+
+void MetricsHttpServer::stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) return;
+  if (listen_fd_ < 0) return;
+
+  // Unblock the acceptor with a throwaway connection.
+  const int kick = connect_tcp(static_cast<std::uint16_t>(port_));
+  if (kick >= 0) ::close(kick);
+  if (acceptor_done_.valid()) acceptor_done_.get();
+
+  {
+    LockGuard<SpinLock> g(conns_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  while (active_conns_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // An owned reactor stops here (its threads reference the runtime); a
+  // shared one belongs to the app and outlives us.
+  owned_reactor_.reset();
+}
+
+}  // namespace icilk::net

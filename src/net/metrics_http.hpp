@@ -1,0 +1,85 @@
+// A tiny HTTP/1.0 exposition endpoint serving the observability layer
+// (obs/exposition.hpp) over the runtime's own task system:
+//
+//   GET /metrics  ->  Prometheus text (scrape with curl or a Prometheus
+//                     server; includes request/phase summaries and
+//                     trace-ring drop counters)
+//   GET /latency  ->  latency-attribution JSON (per-level percentiles,
+//                     per-phase breakdown, worst-K retained timelines)
+//
+// The handler routines run as I-Cilk tasks at the runtime's TOP priority
+// level by default, so scrapes keep succeeding while every worker is
+// saturated with lower-priority work — promptness ramps a worker onto the
+// scrape within the paper's response bound. (This is itself a demo of the
+// mechanism it exposes.)
+//
+// The server can share the application's IoReactor (minicached) or own a
+// small one (email/job servers, which have no reactor of their own).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "concurrent/spinlock.hpp"
+#include "core/runtime.hpp"
+#include "io/reactor.hpp"
+
+namespace icilk::net {
+
+class MetricsHttpServer {
+ public:
+  /// Extra Prometheus exposition text appended to /metrics (app-specific
+  /// series, e.g. minicached's store gauges). Called per scrape.
+  using ExtraTextFn = std::function<std::string()>;
+
+  struct Config {
+    std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+    /// Priority the handler tasks run at; -1 = the runtime's top level.
+    int priority = -1;
+    /// Reactor threads when the server owns its reactor (ignored when a
+    /// shared reactor is passed).
+    int io_threads = 1;
+  };
+
+  /// `shared_reactor` may be null: the server then owns a private reactor
+  /// on `rt`. Either way all handler work runs inside `rt`.
+  MetricsHttpServer(Runtime& rt, IoReactor* shared_reactor,
+                    const Config& cfg, ExtraTextFn extra = nullptr);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  int port() const noexcept { return port_; }
+
+  /// Graceful stop: unblocks the acceptor, drains live scrapes. Must be
+  /// called before the runtime shuts down (the destructor calls it).
+  void stop();
+
+ private:
+  void acceptor_routine();
+  void connection_routine(int fd);
+  std::string respond(const char* req, std::size_t len) const;
+  void track(int fd);
+  void untrack(int fd);
+
+  Runtime& rt_;
+  std::unique_ptr<IoReactor> owned_reactor_;
+  IoReactor* reactor_;  ///< shared or owned_reactor_.get()
+  ExtraTextFn extra_;
+  Priority priority_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<int> active_conns_{0};
+  SpinLock conns_mu_;
+  std::set<int> conn_fds_;
+  Future<void> acceptor_done_;
+};
+
+}  // namespace icilk::net

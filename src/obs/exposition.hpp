@@ -1,0 +1,37 @@
+// External exposition formats for the observability layer: Prometheus
+// text (served at /metrics), a latency-attribution JSON document (served
+// at /latency), and a memcached-STAT-style dump (the `stats icilk
+// latency` surface). Pure formatters over MetricsRegistry + TraceSink —
+// no sockets, no runtime dependency; the HTTP server in src/net/ and the
+// apps feed them.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace icilk::obs {
+
+/// Prometheus text exposition (format version 0.0.4): per-level event
+/// counters, request latency/phase summaries with quantiles + _sum/_count,
+/// promptness/aging summaries, I/O counters, and per-ring trace
+/// recorded/dropped totals. `sink` may be null (no trace series).
+/// `extra` is appended verbatim (app-specific series; must itself be
+/// valid exposition text or empty).
+std::string prometheus_text(const MetricsRegistry& m, const TraceSink* sink,
+                            const std::string& extra = std::string());
+
+/// Latency-attribution JSON: per level the request count, end-to-end
+/// percentiles, per-phase percentiles and sums, and the worst-K retained
+/// timelines (id, total, hops with phase/where/offset).
+std::string latency_json(const MetricsRegistry& m);
+
+/// `stats icilk latency` body: STAT lines per level (request percentiles,
+/// per-phase p50/p99/sum) plus one STAT line per worst-K timeline in
+/// compact "total_us=... hops=phase@where:+us,..." form.
+std::string latency_stats_text(const MetricsRegistry& m,
+                               const std::string& prefix,
+                               const std::string& eol);
+
+}  // namespace icilk::obs

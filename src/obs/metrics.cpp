@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace icilk::obs {
@@ -22,6 +23,96 @@ MetricsRegistry::MetricsRegistry(int num_levels)
                                  : (num_levels > kMaxLevels ? kMaxLevels
                                                             : num_levels)),
       levels_(static_cast<std::size_t>(num_levels_)) {}
+
+MetricsRegistry::~MetricsRegistry() {
+  for (auto& slot : req_levels_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+MetricsRegistry::ReqLevelStats& MetricsRegistry::req_level_mut(int level) {
+  std::atomic<ReqLevelStats*>& slot = req_levels_[level];
+  ReqLevelStats* s = slot.load(std::memory_order_acquire);
+  if (s == nullptr) {
+    auto* fresh = new ReqLevelStats();
+    if (slot.compare_exchange_strong(s, fresh, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      s = fresh;
+    } else {
+      delete fresh;  // another recorder won; s holds the winner
+    }
+  }
+  return *s;
+}
+
+void MetricsRegistry::record_request(const ReqContext& rc,
+                                     std::uint64_t total_ns) {
+  const int level = static_cast<int>(rc.priority);
+  if (!in_range(level)) return;
+  ReqLevelStats& s = req_level_mut(level);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.total_ns.record(total_ns);
+  for (int i = 0; i < kReqPhaseCount; ++i) {
+    s.phase_sum_ns[i].fetch_add(rc.phase_ns[i], std::memory_order_relaxed);
+    if (rc.phase_ns[i] != 0) s.phase_hist_ns[i].record(rc.phase_ns[i]);
+  }
+  offer_worst(s, rc, total_ns);
+}
+
+void MetricsRegistry::offer_worst(ReqLevelStats& s, const ReqContext& rc,
+                                  std::uint64_t total_ns) {
+  // Racy floor check first so the common (fast) request never takes the
+  // lock once the reservoir is warm.
+  if (s.worst_n.load(std::memory_order_relaxed) >= kWorstK &&
+      total_ns <= s.worst_floor_ns.load(std::memory_order_relaxed)) {
+    return;
+  }
+  LockGuard<SpinLock> g(s.worst_mu);
+  const int n = s.worst_n.load(std::memory_order_relaxed);
+  int slot = -1;
+  if (n < kWorstK) {
+    slot = n;
+    s.worst_n.store(n + 1, std::memory_order_relaxed);
+  } else {
+    std::uint64_t min_total = UINT64_MAX;
+    for (int i = 0; i < kWorstK; ++i) {
+      const ReqContext& w = s.worst[i];
+      const std::uint64_t t = w.end_ns - w.begin_ns;
+      if (t < min_total) {
+        min_total = t;
+        slot = i;
+      }
+    }
+    if (total_ns <= min_total) return;  // lost the race to a slower peer
+  }
+  s.worst[slot] = rc;
+  const int filled = s.worst_n.load(std::memory_order_relaxed);
+  if (filled >= kWorstK) {
+    std::uint64_t floor = UINT64_MAX;
+    for (int i = 0; i < filled; ++i) {
+      const ReqContext& w = s.worst[i];
+      floor = floor < w.end_ns - w.begin_ns ? floor : w.end_ns - w.begin_ns;
+    }
+    s.worst_floor_ns.store(floor, std::memory_order_relaxed);
+  }
+}
+
+std::vector<ReqContext> MetricsRegistry::worst_requests(int level) const {
+  std::vector<ReqContext> out;
+  const ReqLevelStats* s = req_level(level);
+  if (s == nullptr) return out;
+  {
+    LockGuard<SpinLock> g(s->worst_mu);
+    const int n = s->worst_n.load(std::memory_order_relaxed);
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) out.push_back(s->worst[i]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ReqContext& a, const ReqContext& b) {
+              return a.end_ns - a.begin_ns > b.end_ns - b.begin_ns;
+            });
+  return out;
+}
 
 bool MetricsRegistry::PerLevel::any_activity() const noexcept {
   for (const auto& c : counts) {
@@ -53,6 +144,25 @@ void MetricsRegistry::merge_from(const MetricsRegistry& o) {
     io_[s].fetch_add(o.io_[s].load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
   }
+  for (int level = 0; level < n; ++level) {
+    const ReqLevelStats* src = o.req_level(level);
+    if (src == nullptr) continue;
+    ReqLevelStats& dst = req_level_mut(level);
+    dst.count.fetch_add(src->count.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    dst.total_ns.merge(src->total_ns);
+    for (int i = 0; i < kReqPhaseCount; ++i) {
+      dst.phase_hist_ns[i].merge(src->phase_hist_ns[i]);
+      dst.phase_sum_ns[i].fetch_add(
+          src->phase_sum_ns[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    // Re-offer the source's retained worst timelines to our reservoir
+    // (reservoir only; counters and histograms were summed above).
+    for (const ReqContext& rc : o.worst_requests(level)) {
+      offer_worst(dst, rc, rc.end_ns - rc.begin_ns);
+    }
+  }
 }
 
 void MetricsRegistry::reset() {
@@ -63,6 +173,19 @@ void MetricsRegistry::reset() {
     l.aging_ns.reset();
   }
   for (auto& c : io_) c.store(0, std::memory_order_relaxed);
+  for (auto& slot : req_levels_) {
+    ReqLevelStats* s = slot.load(std::memory_order_acquire);
+    if (s == nullptr) continue;
+    s->count.store(0, std::memory_order_relaxed);
+    s->total_ns.reset();
+    for (int i = 0; i < kReqPhaseCount; ++i) {
+      s->phase_hist_ns[i].reset();
+      s->phase_sum_ns[i].store(0, std::memory_order_relaxed);
+    }
+    LockGuard<SpinLock> g(s->worst_mu);
+    s->worst_n.store(0, std::memory_order_relaxed);
+    s->worst_floor_ns.store(0, std::memory_order_relaxed);
+  }
 }
 
 std::string MetricsRegistry::text(const std::string& prefix,
@@ -94,6 +217,13 @@ std::string MetricsRegistry::text(const std::string& prefix,
       line(level, "aging_p50_us", l.aging_ns.percentile_ns(0.5) / 1000);
       line(level, "aging_p99_us", l.aging_ns.percentile_ns(0.99) / 1000);
       line(level, "aging_max_us", l.aging_ns.max_ns() / 1000);
+    }
+    if (const ReqLevelStats* r = req_level(level);
+        r != nullptr && r->total_ns.count() != 0) {
+      line(level, "req_count", r->count.load(std::memory_order_relaxed));
+      line(level, "req_p50_us", r->total_ns.percentile_ns(0.5) / 1000);
+      line(level, "req_p99_us", r->total_ns.percentile_ns(0.99) / 1000);
+      line(level, "req_max_us", r->total_ns.max_ns() / 1000);
     }
   }
   for (int s = 0; s < static_cast<int>(IoStat::kCount); ++s) {

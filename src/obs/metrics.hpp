@@ -27,8 +27,10 @@
 #include <vector>
 
 #include "concurrent/clock.hpp"
+#include "concurrent/spinlock.hpp"
 #include "load/histogram.hpp"
-#include "obs/trace.hpp"  // EventKind taxonomy
+#include "obs/reqtrace.hpp"  // ReqContext / ReqPhase taxonomy
+#include "obs/trace.hpp"     // EventKind taxonomy
 
 namespace icilk::obs {
 
@@ -53,6 +55,7 @@ class MetricsRegistry {
   static constexpr int kMaxLevels = 64;
 
   explicit MetricsRegistry(int num_levels = kMaxLevels);
+  ~MetricsRegistry();
 
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
@@ -114,6 +117,49 @@ class MetricsRegistry {
     levels_[level].aging_ns.record(delay_ns);
   }
 
+  // ---- request-scoped tail-latency attribution (obs/reqtrace.hpp) ----
+
+  /// Slowest-request timelines retained per level.
+  static constexpr int kWorstK = 8;
+
+  /// Per-level request aggregates, allocated lazily on the first completed
+  /// request at that level (most levels never serve requests; the eager
+  /// alternative is ~8 histograms x 64 levels of dead memset per runtime).
+  struct ReqLevelStats {
+    load::Histogram total_ns;                    ///< end-to-end latency
+    load::Histogram phase_hist_ns[kReqPhaseCount];
+    std::atomic<std::uint64_t> phase_sum_ns[kReqPhaseCount] = {};
+    std::atomic<std::uint64_t> count{0};
+
+    // Worst-K reservoir: full timelines of the slowest requests. The
+    // spinlock is uncontended in practice (taken once per completed
+    // request, only when the request beats the current floor or the
+    // reservoir is not yet full — the floor/fill checks read atomics
+    // outside the lock).
+    mutable SpinLock worst_mu;
+    std::atomic<int> worst_n{0};                 ///< valid entries
+    std::atomic<std::uint64_t> worst_floor_ns{0};  ///< min total retained
+    ReqContext worst[kWorstK];                   ///< guarded by worst_mu
+  };
+
+  /// Fresh process-unique-enough request id (per-registry counter).
+  std::uint64_t next_request_id() noexcept {
+    return next_req_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Folds a completed request's timeline into the per-level phase
+  /// histograms and the worst-K reservoir. `total_ns` is close()'s return.
+  void record_request(const ReqContext& rc, std::uint64_t total_ns);
+
+  /// Per-level request stats, or nullptr if no request completed there.
+  const ReqLevelStats* req_level(int level) const noexcept {
+    if (!in_range(level)) return nullptr;
+    return req_levels_[level].load(std::memory_order_acquire);
+  }
+
+  /// Copies the worst-K entries for `level`, slowest first.
+  std::vector<ReqContext> worst_requests(int level) const;
+
   // ---- direct recording (tests, merges) ----
 
   void record_promptness(int level, std::uint64_t ns) noexcept {
@@ -154,9 +200,15 @@ class MetricsRegistry {
     return level >= 0 && level < num_levels_;
   }
 
+  ReqLevelStats& req_level_mut(int level);
+  static void offer_worst(ReqLevelStats& s, const ReqContext& rc,
+                          std::uint64_t total_ns);
+
   int num_levels_;
   std::vector<PerLevel> levels_;
   std::atomic<std::uint64_t> io_[static_cast<int>(IoStat::kCount)] = {};
+  std::atomic<ReqLevelStats*> req_levels_[kMaxLevels] = {};
+  std::atomic<std::uint64_t> next_req_id_{1};
 };
 
 }  // namespace icilk::obs

@@ -37,6 +37,12 @@ const char* event_name(EventKind k) noexcept {
       return "acquire_fail";
     case EventKind::kInject:
       return "inject";
+    case EventKind::kReqBegin:
+      return "req_begin";
+    case EventKind::kReqPhase:
+      return "req_phase";
+    case EventKind::kReqEnd:
+      return "req_end";
     case EventKind::kCount:
       break;
   }
@@ -125,6 +131,16 @@ std::size_t TraceSink::ring_count() const {
   return rings_.size();
 }
 
+std::vector<TraceSink::RingStats> TraceSink::ring_stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<RingStats> out;
+  out.reserve(rings_.size());
+  for (const auto& r : rings_) {
+    out.push_back({r->name(), r->recorded(), r->dropped()});
+  }
+  return out;
+}
+
 void TraceSink::write_chrome_trace(std::ostream& os) const {
   std::lock_guard<std::mutex> g(mu_);
 
@@ -156,6 +172,17 @@ void TraceSink::write_chrome_trace(std::ostream& os) const {
                   "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
                   rings_[i]->tid(), rings_[i]->name().c_str());
     emit(buf);
+    // Ring overflow metadata: a nonzero dropped count means this thread's
+    // lane is a truncated window — consumers must not read absence of
+    // events as absence of activity.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"icilk_ring_stats\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%d,\"args\":{\"ring\":\"%s\",\"recorded\":%llu,"
+                  "\"dropped\":%llu}}",
+                  rings_[i]->tid(), rings_[i]->name().c_str(),
+                  static_cast<unsigned long long>(rings_[i]->recorded()),
+                  static_cast<unsigned long long>(rings_[i]->dropped()));
+    emit(buf);
   }
 
   for (std::size_t i = 0; i < rings_.size(); ++i) {
@@ -175,6 +202,32 @@ void TraceSink::write_chrome_trace(std::ostream& os) const {
                       sleep_begin_ts, ts - sleep_begin_ts, tid);
         emit(buf);
         sleep_begin_ts = -1.0;
+        continue;
+      }
+      if (ev.kind == EventKind::kReqBegin ||
+          ev.kind == EventKind::kReqPhase ||
+          ev.kind == EventKind::kReqEnd) {
+        // Request spans render as a flow: one arrow chain per request id,
+        // hopping across whichever lanes (workers, I/O threads) touched
+        // it. Chrome/Perfetto match flows on (cat, name, id).
+        const char ph = ev.kind == EventKind::kReqBegin   ? 's'
+                        : ev.kind == EventKind::kReqPhase ? 't'
+                                                          : 'f';
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"req\",\"cat\":\"req\",\"ph\":\"%c\","
+                      "%s\"id\":%u,\"ts\":%.3f,\"pid\":0,\"tid\":%d}",
+                      ph, ph == 'f' ? "\"bp\":\"e\"," : "",
+                      static_cast<unsigned>(ev.arg), ts, tid);
+        emit(buf);
+        // Plus a visible instant naming the transition.
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"cat\":\"req\",\"ph\":\"i\","
+                      "\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"s\":\"t\","
+                      "\"args\":{\"req\":%u,\"level\":%u}}",
+                      event_name(ev.kind), ts, tid,
+                      static_cast<unsigned>(ev.arg),
+                      static_cast<unsigned>(ev.level));
+        emit(buf);
         continue;
       }
       if (ev.level != TraceEvent::kNoLevel16) {

@@ -53,6 +53,11 @@ enum class EventKind : std::uint16_t {
   kAcquireFail,   ///< acquire probe found a pool/bit empty
   kInject,        ///< fault injection fired (level = inject::Point,
                   ///< arg = action << 24 | delay-arg); see src/inject/
+  kReqBegin,      ///< request began (level = priority, arg = low 32 bits
+                  ///< of the request id — the Chrome-trace flow id)
+  kReqPhase,      ///< request phase transition (level = ReqPhase,
+                  ///< arg = request id low bits); see obs/reqtrace.hpp
+  kReqEnd,        ///< request completed (level = priority, arg = id bits)
   kCount          ///< sentinel; not a real event
 };
 
@@ -110,6 +115,16 @@ class TraceRing {
     return head_.load(std::memory_order_acquire);
   }
 
+  /// Records lost to ring wrap (recorded but no longer retained). A
+  /// nonzero value means exports/attribution are seeing a truncated
+  /// window — surfaced in `stats icilk`, /metrics, and the Chrome trace
+  /// metadata so silent drops can't skew analysis.
+  std::uint64_t dropped() const noexcept {
+    const std::uint64_t head = recorded();
+    const std::uint64_t cap = capacity();
+    return head > cap ? head - cap : 0;
+  }
+
   /// Reader-side: copies the retained events, oldest first. Safe to call
   /// concurrently with the writer: records that were (or may have been)
   /// overwritten during the scan are dropped via a head re-read, so the
@@ -164,6 +179,15 @@ class TraceSink {
   }
 
   std::size_t ring_count() const;
+
+  /// Per-ring write/drop totals (name, recorded, dropped) — the overflow
+  /// surfacing consumed by `stats icilk` and the /metrics endpoint.
+  struct RingStats {
+    std::string name;
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+  };
+  std::vector<RingStats> ring_stats() const;
 
   /// Writes the whole trace as Chrome trace_event JSON (the object form:
   /// {"traceEvents": [...]}). Loadable by chrome://tracing and Perfetto.
