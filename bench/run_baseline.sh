@@ -102,6 +102,7 @@ rows_or_null() { # rows_or_null <file> <json-fn>
   echo "    \"ICILK_TRACE\": $(cache_flag ICILK_TRACE),"
   echo "    \"ICILK_INJECT\": $(cache_flag ICILK_INJECT),"
   echo "    \"ICILK_REQTRACE\": $(cache_flag ICILK_REQTRACE),"
+  echo "    \"ICILK_WATCHDOG\": $(cache_flag ICILK_WATCHDOG),"
   echo "    \"ICILK_SANITIZE\": $(sed -n 's/^ICILK_SANITIZE:STRING=\(.*\)$/"\1"/p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null | grep . || echo null)"
   echo "  },"
   echo "  \"fig1_duration_s\": $FIG1_DURATION,"
@@ -114,3 +115,16 @@ rows_or_null() { # rows_or_null <file> <json-fn>
 } > "$OUT"
 
 echo "wrote $OUT"
+
+# Self-validate: the capture must parse as JSON and diff cleanly against
+# itself (scripts/bench_diff.py is also the regression-tracking consumer,
+# so this catches schema drift the moment it is introduced).
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$REPO_ROOT/scripts/bench_diff.py" "$OUT" "$OUT" >/dev/null || {
+    echo "self-validation FAILED: $OUT does not round-trip through scripts/bench_diff.py" >&2
+    exit 1
+  }
+  echo "self-validation OK ($OUT parses and self-diffs clean)"
+else
+  echo "python3 not found; skipping bench_diff.py self-validation" >&2
+fi

@@ -6,7 +6,9 @@
 // Usage: soak_inject [duration-seconds] [seed] [rate-ppm]
 //   duration  per-phase load duration (default 2.0)
 //   seed      injection seed (default 1; same seed => same fault schedule)
-//   rate-ppm  per-point injection rate (default 5000 = 0.5%)
+//   rate-ppm  per-point injection rate (default 5000 = 0.5%); rate 0 is
+//             CLEAN MODE: no faults, watchdog sampler on, zero invariant
+//             trips required (the detectors' false-positive gate)
 //
 // Invariants checked per phase (RESULT lines are machine-greppable):
 //   * accounting — every fired request completed or was counted an error
@@ -52,6 +54,12 @@ void soak_minicached(double duration_s, std::uint64_t seed,
   cfg.rt.num_workers = 2;
   cfg.rt.num_io_threads = 2;
   cfg.rt.num_levels = 2;
+  // Clean mode (rate 0): run the watchdog sampler alongside the load and
+  // require ZERO invariant trips — the detectors' false-positive gate.
+  if (ppm == 0) {
+    cfg.rt.watchdog_enabled = true;
+    cfg.rt.watchdog_period_ms = 5;
+  }
   apps::ICilkMcServer server(cfg, std::make_unique<PromptScheduler>());
 
   load::McClient::Config ccfg;
@@ -80,8 +88,17 @@ void soak_minicached(double duration_s, std::uint64_t seed,
   check(completed + client.errors() >= arrivals.size(), "minicached",
         "accounting");
   check(completed > 0, "minicached", "progress");
-  check(engine.injected() > 0 || !inject::compiled_in(), "minicached",
-        "faults_fired");
+  if (ppm != 0) {
+    check(engine.injected() > 0 || !inject::compiled_in(), "minicached",
+          "faults_fired");
+  }
+  if (const obs::Watchdog* wd = server.runtime().watchdog()) {
+    std::printf("minicached: watchdog samples=%" PRIu64 " trips=%" PRIu64
+                "\n",
+                wd->samples(), wd->trips_total());
+    check(wd->samples() > 0, "minicached", "watchdog_sampled");
+    check(wd->trips_total() == 0, "minicached", "watchdog_clean");
+  }
   server.stop();
   bool census_zero = true;
   for (int lvl = 0; lvl < cfg.rt.num_levels; ++lvl) {
@@ -110,8 +127,10 @@ void soak_email(double duration_s, std::uint64_t seed, std::uint32_t ppm) {
   // run_email_trial's drain() returned, so nothing was lost; require the
   // histograms to show real completions and the faults to have fired.
   check(done > 0, "email", "drained");
-  check(engine.injected() > 0 || !inject::compiled_in(), "email",
-        "faults_fired");
+  if (ppm != 0) {
+    check(engine.injected() > 0 || !inject::compiled_in(), "email",
+          "faults_fired");
+  }
 }
 
 void soak_job(double duration_s, std::uint64_t seed, std::uint32_t ppm) {
@@ -132,8 +151,10 @@ void soak_job(double duration_s, std::uint64_t seed, std::uint32_t ppm) {
               " mugs=%" PRIu64 "\n",
               done, engine.injected(), res.sched_stats.mugs);
   check(done > 0, "job", "drained");
-  check(engine.injected() > 0 || !inject::compiled_in(), "job",
-        "faults_fired");
+  if (ppm != 0) {
+    check(engine.injected() > 0 || !inject::compiled_in(), "job",
+          "faults_fired");
+  }
 }
 
 }  // namespace

@@ -63,9 +63,13 @@ int main(int argc, char** argv) {
   cfg.rt.num_workers = 4;     // the paper's Memcached configuration
   cfg.rt.num_io_threads = 4;  // 4 workers + 4 I/O threads
   cfg.rt.num_levels = 2;
+  cfg.rt.watchdog_enabled = true;  // invariant sampler + flight recorder
+  cfg.metrics_port = 0;            // /metrics, /latency, /health
   apps::ICilkMcServer server(cfg, std::make_unique<PromptScheduler>());
-  std::printf("minicached (I-Cilk frontend, prompt scheduler) on port %d\n",
-              server.port());
+  std::printf(
+      "minicached (I-Cilk frontend, prompt scheduler) on port %d, "
+      "metrics on port %d\n",
+      server.port(), server.metrics_port());
 
   // Scripted session: store, retrieve, counter, stats.
   std::printf("--- scripted session ---\n%s",
@@ -81,6 +85,9 @@ int main(int argc, char** argv) {
                         .c_str());
   std::printf("--- stats ---\n%s",
               talk(server.port(), "stats\r\n", "END\r\n").c_str());
+  std::printf("--- watchdog health ---\n%s",
+              talk(server.port(), "stats icilk health\r\n", "END\r\n")
+                  .c_str());
 
   if (serve_seconds > 0) {
     std::printf("serving for %d seconds... (try `nc 127.0.0.1 %d`)\n",

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Compare two bench/run_baseline.sh captures (BENCH_*.json).
+
+Rows inside each benchmark section are matched by their identity fields
+(everything non-numeric: scheduler, mode, pool, ...) plus the numeric
+load-point fields that NAME a configuration rather than measure one
+(rps, threads). Every other shared numeric field gets a delta; fields
+where lower-is-better (latency / ns_per_op / allocs / errors) count as
+REGRESSIONS when they worsen past the threshold, throughput fields
+(ops_per_s, completed, *_hit_rate) when they DROP past it.
+
+Usage: bench_diff.py OLD.json NEW.json [--threshold PCT]
+
+Exit code: 0 = no regression beyond threshold, 1 = regression(s),
+2 = usage / parse error. Build-flag mismatches between the two captures
+are warned about (an OFF-build baseline is not comparable to an ON one)
+but do not by themselves fail the diff.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that name a load point rather than measure it: part of a row's
+# identity, never diffed.
+CONFIG_NUMERIC = {"rps", "threads", "ops", "fig1_duration_s"}
+# Measured fields where a LOWER value is better.
+LOWER_IS_BETTER = ("p99_ms", "p95_ms", "ns_per_op", "allocs_per_op",
+                   "errors")
+# Measured fields where a HIGHER value is better.
+HIGHER_IS_BETTER = ("ops_per_s", "completed", "op_pool_hit_rate",
+                    "fut_pool_hit_rate")
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def row_key(row):
+    parts = []
+    for k in sorted(row):
+        v = row[k]
+        if not is_number(v) or k in CONFIG_NUMERIC:
+            parts.append(f"{k}={v}")
+    return " ".join(parts)
+
+
+def direction(field):
+    if field in LOWER_IS_BETTER:
+        return "lower"
+    if field in HIGHER_IS_BETTER:
+        return "higher"
+    return None
+
+
+def diff_section(name, old_rows, new_rows, threshold, out):
+    """Returns the number of regressions found in one benchmark section."""
+    old_by_key = {row_key(r): r for r in old_rows}
+    regressions = 0
+    matched = 0
+    for new in new_rows:
+        key = row_key(new)
+        old = old_by_key.get(key)
+        if old is None:
+            out.append(f"  [{name}] {key}: new row (no baseline)")
+            continue
+        matched += 1
+        for field in sorted(new):
+            if not is_number(new[field]) or field in CONFIG_NUMERIC:
+                continue
+            if not is_number(old.get(field)):
+                continue
+            a, b = float(old[field]), float(new[field])
+            if a == 0.0:
+                delta = 0.0 if b == 0.0 else float("inf")
+            else:
+                delta = (b - a) / a * 100.0
+            sense = direction(field)
+            worse = (sense == "lower" and delta > threshold) or (
+                sense == "higher" and delta < -threshold)
+            flag = ""
+            if worse:
+                flag = "  <-- REGRESSION"
+                regressions += 1
+            # Keep the report readable: only print fields that moved, or
+            # regressed.
+            if abs(delta) >= 0.05 or worse:
+                out.append(
+                    f"  [{name}] {key}: {field} {a:g} -> {b:g} "
+                    f"({delta:+.1f}%){flag}")
+    if matched == 0 and old_rows and new_rows:
+        out.append(f"  [{name}] no rows matched between captures")
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two bench/run_baseline.sh JSON captures")
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    args = ap.parse_args()
+
+    docs = []
+    for path in (args.old, args.new):
+        try:
+            with open(path, encoding="utf-8") as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+    old_doc, new_doc = docs
+
+    flags_old = old_doc.get("build_flags") or {}
+    flags_new = new_doc.get("build_flags") or {}
+    for k in sorted(set(flags_old) | set(flags_new)):
+        if flags_old.get(k) != flags_new.get(k):
+            print(f"WARNING: build flag {k} differs: "
+                  f"{flags_old.get(k)} vs {flags_new.get(k)} "
+                  f"(captures may not be comparable)")
+
+    print(f"old: {args.old} (sha {old_doc.get('git_sha', '?')}, "
+          f"{old_doc.get('date', '?')})")
+    print(f"new: {args.new} (sha {new_doc.get('git_sha', '?')}, "
+          f"{new_doc.get('date', '?')})")
+    print(f"threshold: {args.threshold:g}%")
+
+    regressions = 0
+    lines = []
+    for section in sorted(set(old_doc) | set(new_doc)):
+        old_rows = old_doc.get(section)
+        new_rows = new_doc.get(section)
+        if not isinstance(old_rows, list) or not isinstance(new_rows, list):
+            continue
+        if not all(isinstance(r, dict) for r in old_rows + new_rows):
+            continue
+        regressions += diff_section(section, old_rows, new_rows,
+                                    args.threshold, lines)
+    for line in lines:
+        print(line)
+
+    if regressions:
+        print(f"FAIL: {regressions} regression(s) beyond "
+              f"{args.threshold:g}%")
+        return 1
+    print("OK: no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,8 +22,14 @@
 #             no live ReqContext/TLS-binding symbols, and (b)
 #             micro_reqtrace's attributed runtime loop costs the same as
 #             its unattributed baseline loop.
+#   wdoff     build with ICILK_WATCHDOG=OFF and prove the watchdog
+#             compile-out: (a) the hot-path objects carry no watchdog
+#             symbols (census hooks, state publication, Watchdog class),
+#             (b) micro_watchdog's hook loops cost the same as its plain
+#             baseline loop, and (c) `ctest -L obs` still passes (the
+#             hook-dependent cases skip).
 #
-# Usage: scripts/soak.sh [tsan|asan|offcheck|attribution|reqoff|all] \
+# Usage: scripts/soak.sh [tsan|asan|offcheck|attribution|reqoff|wdoff|all] \
 #                        [soak-duration-s] [seed]
 set -uo pipefail
 
@@ -188,21 +194,100 @@ run_reqoff_phase() {
   fi
 }
 
+run_wdoff_phase() {
+  local dir="$REPO_ROOT/build-soak-wdoff"
+  note "wdoff: building (ICILK_WATCHDOG=OFF)"
+  if ! build "$dir" -DICILK_WATCHDOG=OFF; then
+    fail "wdoff build"
+    return
+  fi
+
+  # (a) No watchdog machinery in the hot-path objects: the census hooks,
+  # the worker-state publication helper, and the Watchdog class itself
+  # ("...8Watchdog" mangled) must be absent. wd_publish_state is a
+  # constexpr-inline store so it leaves no symbol either way; the grep
+  # catches a non-folded out-of-line survivor.
+  note "wdoff: hot-path objects carry no watchdog symbols"
+  local objs=(
+    "src/io/CMakeFiles/icilk_io.dir/reactor.cpp.o"
+    "src/core/CMakeFiles/icilk_core.dir/prompt_scheduler.cpp.o"
+    "src/core/CMakeFiles/icilk_core.dir/runtime.cpp.o"
+  )
+  local o
+  for o in "${objs[@]}"; do
+    if [ ! -f "$dir/$o" ]; then
+      fail "wdoff: missing object $o"
+      continue
+    fi
+    if nm "$dir/$o" | grep -q 'wd_census\|wd_publish_state\|8Watchdog'; then
+      fail "wdoff: $o still references watchdog symbols:"
+      nm "$dir/$o" | grep 'wd_census\|wd_publish_state\|8Watchdog' | head -5
+    else
+      echo "clean: $o"
+    fi
+  done
+
+  # (b) The hooks folded to nothing: the state-publication and census-note
+  # loops in micro_watchdog must cost the same as the plain baseline loop
+  # (<1.5x; the live census hook's hashed registry shows ~60x on this
+  # loop, so the margin is unambiguous).
+  note "wdoff: micro_watchdog hooks == baseline"
+  local csv base pub census
+  csv="$("$dir/bench/micro_watchdog" --benchmark_format=csv \
+        2>/dev/null | tr -d '"')"
+  base="$(echo "$csv" | awk -F, '$1 == "BM_Baseline" {print $4}')"
+  pub="$(echo "$csv" | awk -F, '$1 == "BM_PublishState" {print $4}')"
+  census="$(echo "$csv" | awk -F, '$1 == "BM_CensusNote" {print $4}')"
+  echo "BM_Baseline=${base}ns BM_PublishState=${pub}ns BM_CensusNote=${census}ns"
+  if [ -z "$base" ] || [ -z "$pub" ] || [ -z "$census" ]; then
+    fail "wdoff: could not parse micro_watchdog output"
+  else
+    if ! awk -v b="$base" -v p="$pub" 'BEGIN { exit !(p <= b * 1.5) }'; then
+      fail "wdoff: publish-state loop ${pub}ns vs baseline ${base}ns (>1.5x)"
+    fi
+    if ! awk -v b="$base" -v p="$census" 'BEGIN { exit !(p <= b * 1.5) }'; then
+      fail "wdoff: census-note loop ${census}ns vs baseline ${base}ns (>1.5x)"
+    fi
+  fi
+
+  # (c) The OFF build still passes the observability tests (detector unit
+  # tests run against the always-compiled class; runtime-integration cases
+  # skip).
+  note "wdoff: ctest -L obs (OFF build)"
+  if ! (cd "$dir" && ctest -L obs --output-on-failure -j 2); then
+    fail "wdoff ctest -L obs"
+  fi
+
+  # (d) Clean-mode soak: watchdog sampler alongside real load with zero
+  # invariant trips required (rate 0 = no faults, the false-positive
+  # gate) — in the DEFAULT build, where the watchdog is live.
+  note "wdoff: clean-mode soak (default build, watchdog on, rate 0)"
+  if [ -x "$REPO_ROOT/build/bench/soak_inject" ]; then
+    if ! "$REPO_ROOT/build/bench/soak_inject" "$DURATION" "$SEED" 0; then
+      fail "wdoff clean-mode soak (replay: soak_inject $DURATION $SEED 0)"
+    fi
+  else
+    echo "skipping clean-mode soak (build/bench/soak_inject not built)"
+  fi
+}
+
 case "$PHASE" in
   tsan) run_sanitizer_phase tsan thread ;;
   asan) run_sanitizer_phase asan address ;;
   offcheck) run_offcheck_phase ;;
   attribution) run_attribution_phase ;;
   reqoff) run_reqoff_phase ;;
+  wdoff) run_wdoff_phase ;;
   all)
     run_sanitizer_phase tsan thread
     run_sanitizer_phase asan address
     run_offcheck_phase
     run_attribution_phase
     run_reqoff_phase
+    run_wdoff_phase
     ;;
   *)
-    echo "usage: scripts/soak.sh [tsan|asan|offcheck|attribution|reqoff|all] [duration-s] [seed]" >&2
+    echo "usage: scripts/soak.sh [tsan|asan|offcheck|attribution|reqoff|wdoff|all] [duration-s] [seed]" >&2
     exit 2
     ;;
 esac

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "core/api.hpp"
+#include "core/prompt_scheduler.hpp"
 #include "net/socket.hpp"
 #include "obs/exposition.hpp"
 
@@ -121,6 +122,23 @@ void ICilkMcServer::connection_routine(int fd) {
             // `stats icilk latency`: request-latency attribution only —
             // per-level/per-phase percentiles plus worst-K timelines.
             out += obs::latency_stats_text(rt_->metrics(), "icilk_", "\r\n");
+          } else if (req.keys.size() > 1 && req.keys[1] == "health") {
+            // `stats icilk health`: watchdog sampler state, invariant
+            // trips, and the idle-sleep counters the detectors watch.
+            out += health_stats_text();
+          } else if (req.keys.size() > 1 && req.keys[1] == "dump") {
+            // `stats icilk dump`: force a flight-recorder bundle now.
+            if (obs::Watchdog* wd = rt_->watchdog()) {
+              const std::string path = wd->dump_now("stats_icilk_dump");
+              out += "STAT icilk_wd_dump_ok ";
+              out += path.empty() ? '0' : '1';
+              out += "\r\n";
+              if (!path.empty()) {
+                out += "STAT icilk_wd_dump_path " + path + "\r\n";
+              }
+            } else {
+              out += "STAT icilk_wd_dump_ok 0\r\n";
+            }
           } else {
             // `stats icilk`: only the scheduler-observability group.
             out += icilk_stats_text();
@@ -278,6 +296,28 @@ std::string ICilkMcServer::icilk_stats_text() const {
       out += "STAT icilk_trace_dropped_" + r.name + " " +
              std::to_string(r.dropped) + "\r\n";
     }
+  }
+  return out;
+}
+
+std::string ICilkMcServer::health_stats_text() const {
+  std::string out;
+  // Idle-sleep exports straight from the prompt scheduler (present even
+  // when the watchdog is off — the fix this surface exists to expose).
+  if (const auto* ps =
+          dynamic_cast<const PromptScheduler*>(&rt_->scheduler())) {
+    out += "STAT icilk_sleepers " + std::to_string(ps->sleepers()) + "\r\n";
+    out += "STAT icilk_idle_wakeups " + std::to_string(ps->idle_wakeups()) +
+           "\r\n";
+    out += "STAT icilk_zero_transitions " +
+           std::to_string(ps->zero_transitions()) + "\r\n";
+  }
+  if (const obs::Watchdog* wd = rt_->watchdog()) {
+    out += wd->health_stats_text("icilk_", "\r\n");
+  } else {
+    out += "STAT icilk_wd_running 0\r\n";
+    out += std::string("STAT icilk_wd_compiled_in ") +
+           (obs::watchdog_compiled_in() ? "1" : "0") + "\r\n";
   }
   return out;
 }

@@ -73,6 +73,11 @@ class ICilkMcServer {
   /// deque census, reactor totals. Lines are "STAT name value\r\n".
   std::string icilk_stats_text() const;
 
+  /// The `stats icilk health` group: watchdog sampler gauges, invariant
+  /// trips, bundle count, plus the prompt scheduler's idle-sleep counters
+  /// (sleepers / wakeups / 0→non-zero bitfield transitions).
+  std::string health_stats_text() const;
+
   int active_connections() const noexcept {
     return active_conns_.load(std::memory_order_relaxed);
   }

@@ -341,6 +341,8 @@ bool AdaptiveScheduler::greedy_try_get(Worker& w, Priority level) {
 }
 
 bool AdaptiveScheduler::acquire(Worker& w) {
+  obs::wd_publish_state(w.wd_state, obs::WdWorkerState::kStealing,
+                        static_cast<int>(w.level));
   int failed = 0;
   for (;;) {
     if (stop_.load(std::memory_order_acquire)) return false;
@@ -358,6 +360,7 @@ bool AdaptiveScheduler::acquire(Worker& w) {
                          static_cast<std::uint32_t>(num_workers_))));
     }
     if (got) {
+      obs::wd_publish_state(w.wd_state, obs::WdWorkerState::kWorking, level);
       w.stats.sched_ticks.add(now_ticks() - t0);
       return true;
     }
@@ -372,6 +375,30 @@ bool AdaptiveScheduler::acquire(Worker& w) {
       ::usleep(200);
       w.stats.waste_ticks.add(now_ticks() - s0);
     }
+  }
+}
+
+void AdaptiveScheduler::wd_fill(obs::WdSample& s) const {
+  // Adaptive has no bitfield; synthesize occupancy bits from per-level
+  // pool depths so the sampler's active-levels view stays meaningful.
+  // Slot spinlocks are taken briefly from the (cold) sampler thread.
+  int lim = s.num_levels > 0 && s.num_levels < num_levels_ ? s.num_levels
+                                                           : num_levels_;
+  if (lim > obs::WdSample::kMaxLevels) lim = obs::WdSample::kMaxLevels;
+  auto* self = const_cast<AdaptiveScheduler*>(this);
+  for (int level = 0; level < lim; ++level) {
+    std::size_t depth = 0;
+    if (greedy()) {
+      depth = central_[static_cast<std::size_t>(level)]->size_approx();
+    } else {
+      for (int wk = 0; wk < num_workers_; ++wk) {
+        PoolSlot& sl = self->slot(level, wk);
+        LockGuard<SpinLock> g(sl.mu);
+        depth += sl.deques.size();
+      }
+    }
+    s.pool_depth[level] = static_cast<std::uint32_t>(depth);
+    if (depth != 0) s.bitfield |= std::uint64_t{1} << level;
   }
 }
 

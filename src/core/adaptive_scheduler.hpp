@@ -87,6 +87,8 @@ class AdaptiveScheduler final : public Scheduler {
   /// Forces one allocator pass (tests drive quanta deterministically).
   void run_quantum_for_test() { reallocate(); }
 
+  void wd_fill(obs::WdSample& s) const override;
+
  private:
   /// One per (level, worker-slot): the randomized bottom-level state.
   struct alignas(kCacheLineSize) PoolSlot {

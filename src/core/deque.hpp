@@ -30,6 +30,7 @@
 #include "core/task.hpp"
 #include "core/types.hpp"
 #include "obs/reqtrace.hpp"
+#include "obs/watchdog.hpp"  // wd_census_note (no-op when compiled out)
 
 namespace icilk {
 
@@ -42,7 +43,13 @@ class Deque : public RefCounted {
   Deque(Priority p, std::atomic<std::int64_t>* census)
       : priority_(p), census_(census) {}
 
-  ~Deque() { set_counted(false); }
+  ~Deque() {
+    set_counted(false);
+    // A deque destroyed while Suspended/Resumable (teardown, dropped
+    // chains) must leave the watchdog census; erase is unconditional and
+    // cheap for never-registered deques.
+    obs::wd_census_note(this, obs::WdDequeState::kGone, 0, 0);
+  }
 
   Priority priority() const noexcept { return priority_; }
   State state() const noexcept {
@@ -84,6 +91,8 @@ class Deque : public RefCounted {
     obs::req_hook_suspend(rc, owner);
     state_.store(State::Suspended, std::memory_order_release);
     update_census();
+    obs::wd_census_note(this, obs::WdDequeState::kSuspended, now_ns(),
+                        static_cast<int>(priority_));
   }
 
   /// Active -> Resumable directly: the worker abandons this deque to go
@@ -96,9 +105,12 @@ class Deque : public RefCounted {
     req_ = rc;
     req_owner_ = owner;
     obs::req_hook_runnable(rc, owner);
-    resumable_at_ns_.store(now_ns(), std::memory_order_relaxed);
+    const std::uint64_t t = now_ns();
+    resumable_at_ns_.store(t, std::memory_order_relaxed);
     state_.store(State::Resumable, std::memory_order_release);
     update_census();
+    obs::wd_census_note(this, obs::WdDequeState::kResumable, t,
+                        static_cast<int>(priority_));
   }
 
   /// Active+empty -> Dead (the chain is exhausted). Returns false if
@@ -109,6 +121,7 @@ class Deque : public RefCounted {
     assert(state_.load(std::memory_order_relaxed) == State::Active);
     state_.store(State::Dead, std::memory_order_release);
     update_census();
+    obs::wd_census_note(this, obs::WdDequeState::kGone, 0, 0);
     return true;
   }
 
@@ -119,9 +132,12 @@ class Deque : public RefCounted {
     LockGuard<SpinLock> g(mu_);
     assert(state_.load(std::memory_order_relaxed) == State::Suspended);
     obs::req_hook_runnable(req_, req_owner_);
-    resumable_at_ns_.store(now_ns(), std::memory_order_relaxed);
+    const std::uint64_t t = now_ns();
+    resumable_at_ns_.store(t, std::memory_order_relaxed);
     state_.store(State::Resumable, std::memory_order_release);
     update_census();
+    obs::wd_census_note(this, obs::WdDequeState::kResumable, t,
+                        static_cast<int>(priority_));
   }
 
   /// Consumes the resumable-since stamp (set at every transition INTO
@@ -159,6 +175,7 @@ class Deque : public RefCounted {
     bottom_.clear();
     state_.store(State::Active, std::memory_order_release);
     update_census();
+    obs::wd_census_note(this, obs::WdDequeState::kGone, 0, 0);
     return true;
   }
 
@@ -197,10 +214,13 @@ class Deque : public RefCounted {
     auto d = Ref<Deque>::adopt(new Deque(c.priority, census));
     d->bottom_ = std::move(c);
     d->req_ = d->bottom_.req;  // tossed children never own the request
-    d->resumable_at_ns_.store(now_ns(), std::memory_order_relaxed);
+    const std::uint64_t t = now_ns();
+    d->resumable_at_ns_.store(t, std::memory_order_relaxed);
     d->state_.store(State::Resumable, std::memory_order_release);
     LockGuard<SpinLock> g(d->mu_);
     d->update_census();
+    obs::wd_census_note(d.get(), obs::WdDequeState::kResumable, t,
+                        static_cast<int>(d->priority_));
     return d;
   }
 

@@ -36,6 +36,9 @@ class FaaTwoQueuePool final : public DequePool {
   std::size_t size_approx() const override {
     return mugging_.size_approx() + regular_.size_approx();
   }
+  std::size_t mugging_size_approx() const override {
+    return mugging_.size_approx();
+  }
 
  private:
   FaaQueue<Deque> regular_;
@@ -171,6 +174,7 @@ void PromptScheduler::set_bit(Priority p) {
     // first acquisition at p yields a promptness-response-latency sample.
     rt_->metrics().note_level_nonempty(p);
   }
+  if (old == 0) zero_transitions_.fetch_add(1, std::memory_order_relaxed);
   // Wake one sleeper per unit of arriving work (wake rate tracks push
   // rate): waking everyone on each 0 -> non-zero transition — the obvious
   // reading of the paper's broadcast — thrashes when worker threads
@@ -180,6 +184,7 @@ void PromptScheduler::set_bit(Priority p) {
   // window this opens (a sleeper between its predicate check and its
   // wait) is bounded by the sleeper's wait_for timeout in idle_sleep.
   if (old == 0 || sleepers_.load(std::memory_order_relaxed) > 0) {
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
     sleep_cv_.notify_one();
   }
 }
@@ -293,6 +298,8 @@ bool PromptScheduler::try_get_work(Worker& w, Priority h) {
 }
 
 bool PromptScheduler::acquire(Worker& w) {
+  obs::wd_publish_state(w.wd_state, obs::WdWorkerState::kStealing,
+                        static_cast<int>(w.level));
   int failed_rounds = 0;
   int empty_rounds = 0;  // consecutive all-zero bitfield sightings
   for (;;) {
@@ -325,6 +332,7 @@ bool PromptScheduler::acquire(Worker& w) {
 
     if (try_get_work(w, h)) {
       rt_->metrics().note_level_acquired(h);
+      obs::wd_publish_state(w.wd_state, obs::WdWorkerState::kWorking, h);
       w.stats.sched_ticks.add(now_ticks() - t0);
       return true;
     }
@@ -345,6 +353,8 @@ void PromptScheduler::idle_sleep(Worker& w) {
   w.stats.sleeps++;
   ICILK_TRACE_RECORD(w.trace, obs::EventKind::kSleepBegin,
                      obs::TraceEvent::kNoLevel16, 0);
+  obs::wd_publish_state(w.wd_state, obs::WdWorkerState::kSleeping,
+                        static_cast<int>(w.level));
   sleepers_.fetch_add(1, std::memory_order_seq_cst);
   // Bounded wait: the notifier does not hold sleep_mu_ (see set_bit), so
   // a wakeup issued in our check->wait window can be missed; the timeout
@@ -353,6 +363,8 @@ void PromptScheduler::idle_sleep(Worker& w) {
     return bits_.load() != 0 || stop_.load(std::memory_order_acquire);
   });
   sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  obs::wd_publish_state(w.wd_state, obs::WdWorkerState::kStealing,
+                        static_cast<int>(w.level));
   ICILK_TRACE_RECORD(w.trace, obs::EventKind::kSleepEnd,
                      obs::TraceEvent::kNoLevel16, 0);
 }
@@ -361,6 +373,15 @@ void PromptScheduler::pre_op_check(Worker& w) {
   if (opts_.check_period == 0) return;  // ablation: work-first, no checks
   if (opts_.check_period > 1 &&
       (++tls_check_counter % opts_.check_period) != 0) {
+    return;
+  }
+  // Crosspoint: MASK the promptness check — the worker behaves as if the
+  // bitfield showed nothing above it and keeps working at its current
+  // level. This manufactures exactly the violation the watchdog's
+  // promptness detector exists to catch (a worker persisting below an
+  // occupied level) without touching real scheduler state.
+  if (inject::probe(inject::Point::kPromptMask).action ==
+      inject::Action::kForce) {
     return;
   }
   // Crosspoint: force the abandonment branch even when no higher-priority
@@ -391,6 +412,22 @@ void PromptScheduler::pre_op_check(Worker& w) {
     set_bit(p);
   });
   // Resumed later by a mug (possibly our own worker coming back down).
+}
+
+void PromptScheduler::wd_fill(obs::WdSample& s) const {
+  s.bitfield = bits_.load();
+  int lim = s.num_levels > 0 && s.num_levels < PriorityBitfield::kMaxLevels
+                ? s.num_levels
+                : PriorityBitfield::kMaxLevels;
+  if (lim > obs::WdSample::kMaxLevels) lim = obs::WdSample::kMaxLevels;
+  for (int p = 0; p < lim; ++p) {
+    s.pool_depth[p] = static_cast<std::uint32_t>(pools_[p]->size_approx());
+    s.mug_depth[p] =
+        static_cast<std::uint32_t>(pools_[p]->mugging_size_approx());
+  }
+  s.sleepers = sleepers();
+  s.wakeups = idle_wakeups();
+  s.zero_transitions = zero_transitions();
 }
 
 }  // namespace icilk

@@ -51,6 +51,10 @@ class DequePool {
   virtual Ref<Deque> pop() = 0;
   virtual bool empty() const = 0;
   virtual std::size_t size_approx() const = 0;
+  /// Approximate depth of the dedicated mugging queue (0 for pool kinds
+  /// that merge abandoned deques into the regular queue). Observability
+  /// only — the watchdog sampler plots it against the regular depth.
+  virtual std::size_t mugging_size_approx() const { return 0; }
 };
 
 enum class PoolKind {
@@ -87,10 +91,28 @@ class PromptScheduler final : public Scheduler {
   void on_push(Worker& w) override;
   void on_resumable(Ref<Deque> d) override;
   void pre_op_check(Worker& w) override;
+  void wd_fill(obs::WdSample& s) const override;
 
   const PriorityBitfield& bitfield() const noexcept { return bits_; }
   std::size_t pool_size_approx(Priority p) const {
     return pools_[p]->size_approx();
+  }
+
+  // ---- idle-sleep machinery gauges (the paper's wake mechanism) ----
+
+  /// Workers currently parked on the idle condition variable.
+  int sleepers() const noexcept {
+    return sleepers_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative notify_one calls issued by set_bit (the wake rate the
+  /// sleep/wake-storm detector watches).
+  std::uint64_t idle_wakeups() const noexcept {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative bitfield 0 -> non-zero transitions (the paper's broadcast
+  /// trigger).
+  std::uint64_t zero_transitions() const noexcept {
+    return zero_transitions_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -117,6 +139,8 @@ class PromptScheduler final : public Scheduler {
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
   std::atomic<int> sleepers_{0};
+  std::atomic<std::uint64_t> wakeups_{0};           // notify_one calls
+  std::atomic<std::uint64_t> zero_transitions_{0};  // 0 -> non-zero edges
   std::atomic<bool> stop_{false};
 };
 

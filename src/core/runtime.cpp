@@ -44,6 +44,23 @@ Runtime::Runtime(const RuntimeConfig& cfg, std::unique_ptr<Scheduler> sched)
     threads_.emplace_back([this, i] { worker_main(*workers_[i]); });
   }
   sched_->start();
+#if ICILK_WATCHDOG_ENABLED
+  if (cfg_.watchdog_enabled) {
+    obs::Watchdog::Config wc;
+    wc.period_ms = cfg_.watchdog_period_ms;
+    wc.bundle_dir = cfg_.watchdog_bundle_dir;
+    wc.handle_sigusr2 = cfg_.watchdog_sigusr2;
+    wc.metrics = &metrics_;
+    wc.trace = &trace_;
+    wc.sample_fn = [this](obs::WdSample& s) { wd_fill_sample(s); };
+    wc.inject_seed_fn = []() -> std::uint64_t {
+      inject::Engine* e = inject::Engine::active();
+      return e != nullptr ? e->config().seed : 0;
+    };
+    watchdog_ = std::make_unique<obs::Watchdog>(wc);
+    watchdog_->start();
+  }
+#endif
 }
 
 Runtime::~Runtime() {
@@ -56,11 +73,46 @@ void Runtime::shutdown() {
   if (!shutdown_.compare_exchange_strong(expected, true)) {
     // Already shut down; just make sure threads are joined.
   }
+#if ICILK_WATCHDOG_ENABLED
+  // Stop the sampler FIRST: its sample_fn walks workers_ and the
+  // scheduler, so it must quiesce before either starts tearing down.
+  if (watchdog_) watchdog_->stop();
+#endif
   sched_->stop();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
 }
+
+#if ICILK_WATCHDOG_ENABLED
+void Runtime::wd_fill_sample(obs::WdSample& s) const {
+  s.num_levels = cfg_.num_levels < obs::WdSample::kMaxLevels
+                     ? cfg_.num_levels
+                     : obs::WdSample::kMaxLevels;
+  s.num_workers = cfg_.num_workers < obs::WdSample::kMaxWorkers
+                      ? cfg_.num_workers
+                      : obs::WdSample::kMaxWorkers;
+  sched_->wd_fill(s);
+  std::uint64_t tasks = 0;
+  for (int i = 0; i < s.num_workers; ++i) {
+    const std::uint32_t v =
+        workers_[i]->wd_state.load(std::memory_order_relaxed);
+    s.worker_state[i] =
+        static_cast<std::uint8_t>(obs::wd_state_of(v));
+    s.worker_level[i] = static_cast<std::uint8_t>(obs::wd_level_of(v));
+  }
+  // Cumulative completions over ALL workers (not just the sampled
+  // prefix): the census-leak detector compares deltas against growth.
+  for (const auto& w : workers_) tasks += w->stats.tasks_run;
+  s.tasks_run = tasks;
+  for (int p = 0; p < s.num_levels; ++p) {
+    s.census[p] = census_[p].value.load(std::memory_order_relaxed);
+  }
+  obs::wd_census_fill(s, s.t_ns);
+  s.io_armed = metrics_.io_gauge(obs::IoGauge::kArmedOps);
+  s.timers_pending = metrics_.io_gauge(obs::IoGauge::kTimersPending);
+}
+#endif  // ICILK_WATCHDOG_ENABLED
 
 // ---------------------------------------------------------------------------
 // Worker loop

@@ -37,6 +37,7 @@
 #include "fiber/stack.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 
 namespace icilk {
 
@@ -150,6 +151,19 @@ class Runtime {
   /// live) and compiled out entirely under ICILK_TRACE=OFF.
   obs::TraceSink& trace_sink() noexcept { return trace_; }
 
+  /// The flight-recorder watchdog (continuous invariant sampling +
+  /// post-mortem bundles; src/obs/watchdog.hpp). Non-null only when
+  /// cfg.watchdog_enabled and built ICILK_WATCHDOG=ON, so callers must
+  /// null-check. Defined in both build modes so app/server code that
+  /// surfaces watchdog state compiles unconditionally.
+#if ICILK_WATCHDOG_ENABLED
+  obs::Watchdog* watchdog() noexcept { return watchdog_.get(); }
+  const obs::Watchdog* watchdog() const noexcept { return watchdog_.get(); }
+#else
+  obs::Watchdog* watchdog() noexcept { return nullptr; }
+  const obs::Watchdog* watchdog() const noexcept { return nullptr; }
+#endif
+
   /// Records into the CURRENT thread's worker ring, if this is a worker
   /// thread (no-op elsewhere) — for subsystems like the reactor's
   /// submission path that run on task context.
@@ -209,6 +223,13 @@ class Runtime {
   TaskFiber* alloc_task_fiber();
   void recycle(TaskFiber* tf);
 
+#if ICILK_WATCHDOG_ENABLED
+  /// The watchdog's sample_fn: scheduler wd_fill + worker state words +
+  /// census gauges + cumulative task count + deque-census registry + io
+  /// gauges. Runs on the sampler thread; approximate/atomic reads only.
+  void wd_fill_sample(obs::WdSample& s) const;
+#endif
+
   template <typename T, typename F>
   static Closure wrap_value(Ref<FutureState<T>> st, F&& fn) {
     if constexpr (std::is_void_v<T>) {
@@ -225,6 +246,9 @@ class Runtime {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
   std::atomic<bool> shutdown_{false};
+#if ICILK_WATCHDOG_ENABLED
+  std::unique_ptr<obs::Watchdog> watchdog_;
+#endif
 
   StackPool stacks_;
   SpinLock fiber_pool_mu_;

@@ -26,6 +26,7 @@
 #include "concurrent/ref.hpp"
 #include "core/deque.hpp"
 #include "core/types.hpp"
+#include "obs/watchdog.hpp"
 
 namespace icilk {
 
@@ -54,6 +55,13 @@ class Scheduler {
   virtual void on_suspend(Worker& w, Deque& d) {}
   virtual void on_deque_dead(Worker& w, Deque& d) {}
   virtual void pre_op_check(Worker& w) {}
+
+  /// Fills the scheduler-owned fields of a watchdog sample (bitfield,
+  /// per-level pool/mugging depths, sleeper gauges). Called from the
+  /// sampler thread; implementations must only read approximate /
+  /// atomic state. Cold path — compiled regardless of the watchdog flag
+  /// (the runtime just never calls it when the sampler is off).
+  virtual void wd_fill(obs::WdSample& s) const {}
 
  protected:
   Runtime* rt_ = nullptr;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "concurrent/smallfn.hpp"
 
@@ -61,6 +62,17 @@ struct RuntimeConfig {
   bool trace_events = false;
   /// Capacity (events, rounded up to a power of two) of each trace ring.
   std::size_t trace_ring_capacity = std::size_t{1} << 15;
+  /// Run the watchdog/flight-recorder sampler thread (src/obs/watchdog.hpp):
+  /// periodic scheduler-state snapshots, invariant detectors, and post-mortem
+  /// bundle dumps. No-op when built ICILK_WATCHDOG=OFF.
+  bool watchdog_enabled = false;
+  /// Watchdog sampling period.
+  int watchdog_period_ms = 10;
+  /// Directory flight-recorder bundles are written into.
+  std::string watchdog_bundle_dir = ".";
+  /// Install a process-wide SIGUSR2 handler so `kill -USR2 <pid>` dumps a
+  /// flight bundle on demand. Only takes effect with watchdog_enabled.
+  bool watchdog_sigusr2 = true;
 };
 
 }  // namespace icilk

@@ -10,6 +10,7 @@
 //                 (serial spawn/return fast paths, sync self-wake).
 #pragma once
 
+#include <atomic>
 #include <functional>
 
 #include "concurrent/ref.hpp"
@@ -20,6 +21,7 @@
 #include "core/types.hpp"
 #include "fiber/fiber.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 
 namespace icilk {
 
@@ -46,6 +48,13 @@ class Worker {
   WorkerStats stats;
   obs::TraceRing* trace = nullptr;     ///< this worker's event ring
   Xoshiro256 rng;
+
+  /// Published (state, level) word for the watchdog sampler: `level` is
+  /// only safe to read from the owning thread, so schedulers publish
+  /// transitions here via obs::wd_publish_state (no-op when the watchdog
+  /// is compiled out; the word itself stays so struct layout and sampler
+  /// code are flag-independent).
+  std::atomic<std::uint32_t> wd_state{0};
 
   /// Scheduler-private per-worker state (owned by the scheduler).
   void* sched_data = nullptr;

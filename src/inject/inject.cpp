@@ -46,6 +46,7 @@ constexpr Menu kMenus[kPointCount] = {
     /*kAbandonCheck*/ {{Action::kForce}, 1},
     /*kSuspend*/ {{Action::kYield, Action::kDelay}, 2},
     /*kResumePublish*/ {{Action::kDelay, Action::kYield}, 2},
+    /*kPromptMask*/ {{Action::kForce}, 1},
 };
 
 #if ICILK_INJECT_ENABLED
@@ -96,6 +97,8 @@ const char* point_name(Point p) noexcept {
       return "suspend";
     case Point::kResumePublish:
       return "resume_publish";
+    case Point::kPromptMask:
+      return "prompt_mask";
     case Point::kCount:
       break;
   }

@@ -62,6 +62,7 @@ enum class Point : std::uint8_t {
   kAbandonCheck,     ///< the bitfield check — can FORCE abandonment
   kSuspend,          ///< before a blocked get/sync parks its deque
   kResumePublish,    ///< before a resumable deque is published to the pool
+  kPromptMask,       ///< can FORCE pre_op_check to skip the bitfield check
   kCount             ///< sentinel; not a real point
 };
 inline constexpr int kPointCount = static_cast<int>(Point::kCount);

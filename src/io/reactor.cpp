@@ -83,9 +83,15 @@ IoReactor::~IoReactor() {
   for (auto& t : threads_) t.join();
   // Threads joined: any op still parked (reactor torn down with armed
   // operations, same contract as the seed) is reclaimed without completing.
-  table_.for_each_pending([](Slot& s) {
-    if (s.rd != nullptr) OpPool::destroy(std::exchange(s.rd, nullptr));
-    if (s.wr != nullptr) OpPool::destroy(std::exchange(s.wr, nullptr));
+  table_.for_each_pending([this](Slot& s) {
+    if (s.rd != nullptr) {
+      rt_.metrics().io_gauge_add(obs::IoGauge::kArmedOps, -1);
+      OpPool::destroy(std::exchange(s.rd, nullptr));
+    }
+    if (s.wr != nullptr) {
+      rt_.metrics().io_gauge_add(obs::IoGauge::kArmedOps, -1);
+      OpPool::destroy(std::exchange(s.wr, nullptr));
+    }
   });
   for (auto& shard : timer_shards_) ::close(shard->tfd);
   ::close(wake_fd_);
@@ -187,6 +193,7 @@ void IoReactor::arm(Op* op) {
   // suspension as an I/O wait (suspended_io, not suspended_sync).
   op->req_id = obs::req_hook_io_arm();
   rt_.metrics().io_count(obs::IoStat::kFdTableProbe);
+  rt_.metrics().io_gauge_add(obs::IoGauge::kArmedOps, 1);
   if (!table_.in_fast_range(op->fd)) {
     rt_.metrics().io_count(obs::IoStat::kFdTableOverflow);
   }
@@ -251,6 +258,7 @@ void IoReactor::cancel_fd(int fd) {
   for (Op* op : {rd, wr}) {
     if (op == nullptr) continue;
     rt_.metrics().io_count(obs::IoStat::kFdCancel);
+    rt_.metrics().io_gauge_add(obs::IoGauge::kArmedOps, -1);
     op->fut->set_value(-ECANCELED);
     op->fut->complete();
     OpPool::destroy(op);
@@ -289,6 +297,7 @@ Future<void> IoReactor::async_sleep(std::chrono::nanoseconds d) {
     }
   }
   rt_.metrics().io_count(obs::IoStat::kTimerScheduled);
+  rt_.metrics().io_gauge_add(obs::IoGauge::kTimersPending, 1);
   return Future<void>(std::move(fut));
 }
 
@@ -328,6 +337,10 @@ void IoReactor::handle_timer(std::size_t shard_idx, obs::TraceRing* ring) {
     } else {
       s.armed_deadline_ns = 0;
     }
+  }
+  if (!due.empty()) {
+    rt_.metrics().io_gauge_add(obs::IoGauge::kTimersPending,
+                               -static_cast<std::int64_t>(due.size()));
   }
   // Bounded completion delay: sleep futures may fire "late" relative to
   // every other event in the system, never early.
@@ -433,6 +446,7 @@ void IoReactor::handle_event(int fd, std::uint32_t gen, std::uint32_t events,
   }
   for (Op* op : {done_rd, done_wr}) {
     if (op == nullptr) continue;
+    rt_.metrics().io_gauge_add(obs::IoGauge::kArmedOps, -1);
     // arg: the request id when the op was tagged (the Chrome-trace flow
     // key), otherwise the fd.
     ICILK_TRACE_RECORD(ring, obs::EventKind::kIoComplete,

@@ -125,9 +125,20 @@ std::string MetricsHttpServer::respond(const char* req,
     } else if (path == "/latency") {
       content_type = "application/json";
       body = obs::latency_json(rt_.metrics());
+    } else if (path == "/health") {
+      content_type = "application/json";
+      if (const obs::Watchdog* wd = rt_.watchdog()) {
+        body = wd->health_json();
+      } else {
+        // No sampler running (cfg.watchdog_enabled off, or built
+        // ICILK_WATCHDOG=OFF): still answer, so probes don't 404.
+        body = std::string("{\"watchdog\":{\"compiled_in\":") +
+               (obs::watchdog_compiled_in() ? "true" : "false") +
+               ",\"running\":false}}\n";
+      }
     } else {
       status = "404 Not Found";
-      body = "try /metrics or /latency\n";
+      body = "try /metrics, /latency or /health\n";
     }
   }
   char head_buf[256];

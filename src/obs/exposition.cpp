@@ -132,6 +132,31 @@ std::string prometheus_text(const MetricsRegistry& m, const TraceSink* sink,
             m.io_counter(static_cast<IoStat>(s)));
   }
 
+  // Reactor instantaneous depths.
+  appendf(out,
+          "# HELP icilk_io_depth Reactor queue depths (armed ops, pending "
+          "timers).\n"
+          "# TYPE icilk_io_depth gauge\n");
+  for (int g = 0; g < static_cast<int>(IoGauge::kCount); ++g) {
+    appendf(out, "icilk_io_depth{queue=\"%s\"} %lld\n",
+            io_gauge_name(static_cast<IoGauge>(g)),
+            static_cast<long long>(m.io_gauge(static_cast<IoGauge>(g))));
+  }
+
+  // Watchdog sampled gauges + detector trip counts (only once a sampler
+  // has written them; an idle registry stays quiet).
+  if (m.wd_gauge(WdGauge::kSamples) != 0) {
+    appendf(out,
+            "# HELP icilk_watchdog Flight-recorder sampler gauges and "
+            "detector trip counts.\n"
+            "# TYPE icilk_watchdog gauge\n");
+    for (int g = 0; g < static_cast<int>(WdGauge::kCount); ++g) {
+      appendf(out, "icilk_watchdog{gauge=\"%s\"} %lld\n",
+              wd_gauge_name(static_cast<WdGauge>(g)),
+              static_cast<long long>(m.wd_gauge(static_cast<WdGauge>(g))));
+    }
+  }
+
   // Trace-ring overflow surfacing: silent drops would skew attribution.
   if (sink != nullptr) {
     appendf(out,

@@ -18,6 +18,38 @@ const char* io_stat_name(IoStat s) noexcept {
   return "unknown";
 }
 
+const char* io_gauge_name(IoGauge g) noexcept {
+  switch (g) {
+    case IoGauge::kArmedOps: return "armed_ops";
+    case IoGauge::kTimersPending: return "timers_pending";
+    case IoGauge::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* wd_gauge_name(WdGauge g) noexcept {
+  switch (g) {
+    case WdGauge::kSamples: return "samples";
+    case WdGauge::kSleepers: return "sleepers";
+    case WdGauge::kWakeups: return "wakeups";
+    case WdGauge::kZeroTransitions: return "zero_transitions";
+    case WdGauge::kSuspended: return "suspended";
+    case WdGauge::kResumable: return "resumable";
+    case WdGauge::kSuspAgeMaxUs: return "susp_age_max_us";
+    case WdGauge::kResAgeMaxUs: return "res_age_max_us";
+    case WdGauge::kActiveLevels: return "active_levels";
+    case WdGauge::kIoArmed: return "io_armed";
+    case WdGauge::kTimersPending: return "timers_pending";
+    case WdGauge::kTripPromptness: return "trips_promptness";
+    case WdGauge::kTripAging: return "trips_aging_stall";
+    case WdGauge::kTripWakeStorm: return "trips_wake_storm";
+    case WdGauge::kTripCensusLeak: return "trips_census_leak";
+    case WdGauge::kBundles: return "bundles";
+    case WdGauge::kCount: break;
+  }
+  return "unknown";
+}
+
 MetricsRegistry::MetricsRegistry(int num_levels)
     : num_levels_(num_levels < 1 ? 1
                                  : (num_levels > kMaxLevels ? kMaxLevels
@@ -144,6 +176,13 @@ void MetricsRegistry::merge_from(const MetricsRegistry& o) {
     io_[s].fetch_add(o.io_[s].load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
   }
+  for (int g = 0; g < static_cast<int>(IoGauge::kCount); ++g) {
+    io_gauges_[g].fetch_add(o.io_gauges_[g].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+  }
+  // Watchdog gauges are point-in-time mirrors of ONE sampler's latest
+  // snapshot; summing them across registries would be meaningless, so
+  // merge_from leaves them alone.
   for (int level = 0; level < n; ++level) {
     const ReqLevelStats* src = o.req_level(level);
     if (src == nullptr) continue;
@@ -173,6 +212,8 @@ void MetricsRegistry::reset() {
     l.aging_ns.reset();
   }
   for (auto& c : io_) c.store(0, std::memory_order_relaxed);
+  for (auto& g : io_gauges_) g.store(0, std::memory_order_relaxed);
+  for (auto& g : wd_) g.store(0, std::memory_order_relaxed);
   for (auto& slot : req_levels_) {
     ReqLevelStats* s = slot.load(std::memory_order_acquire);
     if (s == nullptr) continue;
@@ -234,6 +275,26 @@ std::string MetricsRegistry::text(const std::string& prefix,
                   static_cast<unsigned long long>(v));
     out += buf;
     out += eol;
+  }
+  for (int g = 0; g < static_cast<int>(IoGauge::kCount); ++g) {
+    const std::int64_t v = io_gauges_[g].load(std::memory_order_relaxed);
+    if (v == 0) continue;
+    std::snprintf(buf, sizeof(buf), "STAT %sio_%s %lld", prefix.c_str(),
+                  io_gauge_name(static_cast<IoGauge>(g)),
+                  static_cast<long long>(v));
+    out += buf;
+    out += eol;
+  }
+  // Watchdog gauges render only once a sampler has written them.
+  if (wd_gauge(WdGauge::kSamples) != 0) {
+    for (int g = 0; g < static_cast<int>(WdGauge::kCount); ++g) {
+      std::snprintf(buf, sizeof(buf), "STAT %swd_%s %lld", prefix.c_str(),
+                    wd_gauge_name(static_cast<WdGauge>(g)),
+                    static_cast<long long>(
+                        wd_[g].load(std::memory_order_relaxed)));
+      out += buf;
+      out += eol;
+    }
   }
   return out;
 }

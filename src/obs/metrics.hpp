@@ -50,6 +50,45 @@ enum class IoStat : int {
 /// Stable lowercase name for export ("fd_probes", ...).
 const char* io_stat_name(IoStat s) noexcept;
 
+/// Reactor instantaneous depths (signed deltas, unlike the monotone IoStat
+/// counters): how many ops are parked in fd slots right now, how many
+/// timers sit in the shard heaps. The watchdog sampler reads these into
+/// its WdSample; `/metrics` exports them as gauges.
+enum class IoGauge : int {
+  kArmedOps = 0,   ///< ops parked in fd-table slots awaiting events
+  kTimersPending,  ///< entries across all timer shard heaps
+  kCount           ///< sentinel
+};
+
+/// Stable lowercase name for export ("armed_ops", "timers_pending").
+const char* io_gauge_name(IoGauge g) noexcept;
+
+/// Watchdog-sampled gauges (src/obs/watchdog.hpp): the sampler mirrors its
+/// latest snapshot + detector trip counts here so the existing exposition
+/// surfaces (`stats icilk`, `/metrics`) carry them with no new plumbing.
+enum class WdGauge : int {
+  kSamples = 0,      ///< samples taken so far
+  kSleepers,         ///< workers parked on the idle condvar
+  kWakeups,          ///< cumulative idle-sleep notify calls
+  kZeroTransitions,  ///< cumulative bitfield 0 -> non-zero edges
+  kSuspended,        ///< suspended-deque census
+  kResumable,        ///< resumable-deque census
+  kSuspAgeMaxUs,     ///< oldest suspended deque, microseconds
+  kResAgeMaxUs,      ///< oldest resumable deque, microseconds
+  kActiveLevels,     ///< popcount of the active-levels bitfield
+  kIoArmed,          ///< reactor armed-op depth at sample time
+  kTimersPending,    ///< reactor timer depth at sample time
+  kTripPromptness,   ///< promptness-violation detector trips
+  kTripAging,        ///< aging-stall detector trips
+  kTripWakeStorm,    ///< sleep/wake-storm detector trips
+  kTripCensusLeak,   ///< census-leak detector trips
+  kBundles,          ///< flight-recorder bundles written
+  kCount             ///< sentinel
+};
+
+/// Stable lowercase name for export ("wd_sleepers", ...; no prefix).
+const char* wd_gauge_name(WdGauge g) noexcept;
+
 class MetricsRegistry {
  public:
   static constexpr int kMaxLevels = 64;
@@ -108,6 +147,24 @@ class MetricsRegistry {
   }
   std::uint64_t io_counter(IoStat s) const noexcept {
     return io_[static_cast<int>(s)].load(std::memory_order_relaxed);
+  }
+
+  // ---- I/O depth gauges (signed deltas from the reactor) ----
+
+  void io_gauge_add(IoGauge g, std::int64_t d) noexcept {
+    io_gauges_[static_cast<int>(g)].fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t io_gauge(IoGauge g) const noexcept {
+    return io_gauges_[static_cast<int>(g)].load(std::memory_order_relaxed);
+  }
+
+  // ---- watchdog sampled gauges (written by the sampler thread) ----
+
+  void wd_set(WdGauge g, std::int64_t v) noexcept {
+    wd_[static_cast<int>(g)].store(v, std::memory_order_relaxed);
+  }
+  std::int64_t wd_gauge(WdGauge g) const noexcept {
+    return wd_[static_cast<int>(g)].load(std::memory_order_relaxed);
   }
 
   // ---- aging delay ----
@@ -207,6 +264,9 @@ class MetricsRegistry {
   int num_levels_;
   std::vector<PerLevel> levels_;
   std::atomic<std::uint64_t> io_[static_cast<int>(IoStat::kCount)] = {};
+  std::atomic<std::int64_t> io_gauges_[static_cast<int>(IoGauge::kCount)] =
+      {};
+  std::atomic<std::int64_t> wd_[static_cast<int>(WdGauge::kCount)] = {};
   std::atomic<ReqLevelStats*> req_levels_[kMaxLevels] = {};
   std::atomic<std::uint64_t> next_req_id_{1};
 };
