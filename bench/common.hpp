@@ -93,6 +93,13 @@ struct McTrialOptions {
   /// Perfetto). One trial overwrites the previous trial's file; point each
   /// bench at one representative trial or use distinct paths.
   std::string trace_out;
+  /// When nonempty, profile the trial (sampling window spanning the whole
+  /// load run) and write the merged on-CPU/off-CPU collapsed-stack file
+  /// here (symbolize with scripts/flamegraph.py). No-op when built
+  /// ICILK_PROFILE=OFF.
+  std::string profile_out;
+  /// SIGPROF rate for profile_out windows; 0 = the runtime default (99).
+  int profile_hz = 0;
 };
 
 struct McTrialResult {
@@ -143,11 +150,32 @@ inline McTrialResult run_mc_trial_icilk(const SchedFactory& make_sched,
   }
 
   server.runtime().reset_time_stats();
+  obs::Profiler* prof =
+      opt.profile_out.empty() ? nullptr : server.runtime().profiler();
+  if (prof != nullptr && !prof->start(opt.profile_hz)) prof = nullptr;
+  if (!opt.profile_out.empty() && prof == nullptr) {
+    std::fprintf(stderr,
+                 "profile requested but unavailable (ICILK_PROFILE=OFF or "
+                 "window busy): %s\n",
+                 opt.profile_out.c_str());
+  }
   const auto arrivals =
       load::poisson_schedule(opt.rps, opt.duration_s, opt.seed);
   res.completed = client.run(arrivals, res.hist);
   res.client_errors = client.errors();
   res.sched_stats = server.runtime().stats_snapshot();
+  if (prof != nullptr) {
+    const obs::ProfileReport rep = prof->stop();
+    if (obs::Profiler::write_folded(rep, opt.profile_out)) {
+      std::fprintf(stderr, "profile written: %s (%llu samples, %llu dropped)\n",
+                   opt.profile_out.c_str(),
+                   static_cast<unsigned long long>(rep.samples),
+                   static_cast<unsigned long long>(rep.dropped));
+    } else {
+      std::fprintf(stderr, "profile write FAILED: %s\n",
+                   opt.profile_out.c_str());
+    }
+  }
   if (!opt.trace_out.empty()) {
     if (server.runtime().trace_sink().write_chrome_trace_file(
             opt.trace_out)) {
@@ -225,6 +253,29 @@ inline std::string trace_out_arg(int argc, char** argv) {
     if (a == "--trace-out" && i + 1 < argc) return argv[i + 1];
   }
   return "";
+}
+
+/// --profile-out=<path> / --profile-out <path> (fig1: per-trial folded
+/// profiles, tagged like trace files).
+inline std::string profile_out_arg(int argc, char** argv) {
+  const std::string prefix = "--profile-out=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    if (a == "--profile-out" && i + 1 < argc) return argv[i + 1];
+  }
+  return "";
+}
+
+/// --profile-hz=<n> (0 = runtime default of 99).
+inline int profile_hz_arg(int argc, char** argv) {
+  const std::string prefix = "--profile-hz=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return std::atoi(a.c_str() + prefix.size());
+    if (a == "--profile-hz" && i + 1 < argc) return std::atoi(argv[i + 1]);
+  }
+  return 0;
 }
 
 /// "out.json" + "prompt" -> "out.prompt.json" (tag before the extension),

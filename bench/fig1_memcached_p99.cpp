@@ -11,6 +11,12 @@ int main(int argc, char** argv) {
   using namespace icilk::bench;
 
   const double duration = (argc > 1) ? std::atof(argv[1]) : 1.5;
+  // --profile-out=prof.folded writes one merged on-CPU/off-CPU collapsed
+  // stack file per icilk trial (tagged prof.<sched>.<rps>.folded);
+  // symbolize + rank with scripts/flamegraph.py. --profile-hz overrides
+  // the 99Hz default.
+  const std::string profile_out = profile_out_arg(argc, argv);
+  const int profile_hz = profile_hz_arg(argc, argv);
   const std::vector<double> rps_points = {2000, 6000, 10000, 14000};
   // A compact sweep keeps this figure quick; fig3 runs the full one.
   std::vector<AdaptiveScheduler::Params> sweep;
@@ -38,8 +44,17 @@ int main(int argc, char** argv) {
     opt.client_connections = 300;
 
     row("pthread", rps, best_of(2, [&] { return run_mc_trial_pthread(opt); }));
+    // Profiling keeps the best-of methodology identical to unprofiled
+    // runs (the overhead gate compares the two); like trace_out, the
+    // later trial's folded file overwrites the earlier one.
+    McTrialOptions popt = opt;
+    if (!profile_out.empty()) {
+      popt.profile_out = tagged_trace_path(
+          profile_out, "prompt." + std::to_string(static_cast<int>(rps)));
+      popt.profile_hz = profile_hz;
+    }
     row("prompt", rps, best_of(2, [&] {
-      return run_mc_trial_icilk(prompt_config().make, opt);
+      return run_mc_trial_icilk(prompt_config().make, popt);
     }));
 
     // Adaptive: best p99 across the parameter sweep (paper methodology).

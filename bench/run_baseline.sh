@@ -103,6 +103,7 @@ rows_or_null() { # rows_or_null <file> <json-fn>
   echo "    \"ICILK_INJECT\": $(cache_flag ICILK_INJECT),"
   echo "    \"ICILK_REQTRACE\": $(cache_flag ICILK_REQTRACE),"
   echo "    \"ICILK_WATCHDOG\": $(cache_flag ICILK_WATCHDOG),"
+  echo "    \"ICILK_PROFILE\": $(cache_flag ICILK_PROFILE),"
   echo "    \"ICILK_SANITIZE\": $(sed -n 's/^ICILK_SANITIZE:STRING=\(.*\)$/"\1"/p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null | grep . || echo null)"
   echo "  },"
   echo "  \"fig1_duration_s\": $FIG1_DURATION,"
@@ -115,6 +116,12 @@ rows_or_null() { # rows_or_null <file> <json-fn>
 } > "$OUT"
 
 echo "wrote $OUT"
+
+# BENCH_latest.json always points at the newest capture, so tooling (CI
+# overhead gates, scripts/bench_diff.py --history) has a stable name for
+# "the current baseline" without date arithmetic.
+ln -sfn "$(basename "$OUT")" "$REPO_ROOT/BENCH_latest.json"
+echo "linked BENCH_latest.json -> $(basename "$OUT")"
 
 # Self-validate: the capture must parse as JSON and diff cleanly against
 # itself (scripts/bench_diff.py is also the regression-tracking consumer,

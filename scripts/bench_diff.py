@@ -10,6 +10,14 @@ REGRESSIONS when they worsen past the threshold, throughput fields
 (ops_per_s, completed, *_hit_rate) when they DROP past it.
 
 Usage: bench_diff.py OLD.json NEW.json [--threshold PCT]
+       bench_diff.py --history [DIR] [--threshold PCT]
+
+--history lists every BENCH_*.json capture in DIR (default: the repo
+root, i.e. this script's parent directory) in chronological order with
+its headline numbers, then diffs each consecutive pair — a one-command
+view of how the baseline has drifted across PRs. The BENCH_latest.json
+symlink run_baseline.sh maintains is excluded (it aliases a real
+capture).
 
 Exit code: 0 = no regression beyond threshold, 1 = regression(s),
 2 = usage / parse error. Build-flag mismatches between the two captures
@@ -18,7 +26,9 @@ but do not by themselves fail the diff.
 """
 
 import argparse
+import glob
 import json
+import os
 import sys
 
 # Fields that name a load point rather than measure it: part of a row's
@@ -93,14 +103,99 @@ def diff_section(name, old_rows, new_rows, threshold, out):
     return regressions
 
 
+def load_doc(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        return None
+
+
+def headline(doc):
+    """One-line summary: the fig1 prompt-scheduler p99 at the highest rps
+    plus capture provenance."""
+    best = None
+    for row in doc.get("fig1") or []:
+        if not isinstance(row, dict) or row.get("scheduler") != "prompt":
+            continue
+        if is_number(row.get("rps")) and is_number(row.get("p99_ms")):
+            if best is None or row["rps"] > best["rps"]:
+                best = row
+    if best is None:
+        return "no fig1 prompt rows"
+    return (f"prompt@{best['rps']:g}rps p99={best['p99_ms']:g}ms "
+            f"completed={best.get('completed', '?')}")
+
+
+def run_history(directory, threshold):
+    captures = sorted(
+        p for p in glob.glob(os.path.join(directory, "BENCH_*.json"))
+        if os.path.basename(p) != "BENCH_latest.json")
+    if not captures:
+        print(f"bench_diff: no BENCH_*.json captures in {directory}",
+              file=sys.stderr)
+        return 2
+    docs = []
+    for path in captures:
+        doc = load_doc(path)
+        if doc is None:
+            return 2
+        docs.append((path, doc))
+    # Filename order is chronological (BENCH_YYYYMMDD[_runN].json), but
+    # trust the embedded timestamp when present.
+    docs.sort(key=lambda pd: (pd[1].get("date") or "",
+                              os.path.basename(pd[0])))
+
+    print(f"{len(docs)} capture(s) in {directory}:")
+    for path, doc in docs:
+        print(f"  {os.path.basename(path):<28} sha {doc.get('git_sha', '?'):<9}"
+              f" {doc.get('date', '?'):<22} {headline(doc)}")
+    regressions = 0
+    for (old_path, old_doc), (new_path, new_doc) in zip(docs, docs[1:]):
+        print(f"\n== {os.path.basename(old_path)} -> "
+              f"{os.path.basename(new_path)} ==")
+        lines = []
+        step = 0
+        for section in sorted(set(old_doc) | set(new_doc)):
+            old_rows = old_doc.get(section)
+            new_rows = new_doc.get(section)
+            if not isinstance(old_rows, list) or not isinstance(new_rows,
+                                                                list):
+                continue
+            if not all(isinstance(r, dict) for r in old_rows + new_rows):
+                continue
+            step += diff_section(section, old_rows, new_rows, threshold,
+                                 lines)
+        for line in lines:
+            print(line)
+        if step:
+            print(f"  {step} regression(s) beyond {threshold:g}% "
+                  f"in this step")
+        regressions += step
+    print(f"\n{'FAIL' if regressions else 'OK'}: {regressions} "
+          f"regression(s) across the history")
+    return 1 if regressions else 0
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="diff two bench/run_baseline.sh JSON captures")
-    ap.add_argument("old")
-    ap.add_argument("new")
+    ap.add_argument("old", nargs="?")
+    ap.add_argument("new", nargs="?")
+    ap.add_argument("--history", nargs="?", const="", metavar="DIR",
+                    help="list + pairwise-diff all BENCH_*.json in DIR "
+                         "(default: the repo root)")
     ap.add_argument("--threshold", type=float, default=10.0,
                     help="regression threshold in percent (default 10)")
     args = ap.parse_args()
+
+    if args.history is not None:
+        directory = args.history or os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        return run_history(directory, args.threshold)
+    if args.old is None or args.new is None:
+        ap.error("OLD.json and NEW.json are required unless --history")
 
     docs = []
     for path in (args.old, args.new):

@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Symbolize an icilk-profile folded-stack file (offline, via addr2line).
+
+The profiler's SIGPROF handler records raw PCs only (symbolization is not
+async-signal-safe); the folded file carries `# module 0xBASE 0xEND PATH`
+headers captured from /proc/self/maps at the end of the window. This script
+maps each PC to its module, rebases it to the module's link-time address
+(min PT_LOAD p_vaddr, via readelf -lW), and batch-resolves names with
+addr2line. No third-party deps — stdlib + binutils only.
+
+Usage:
+  flamegraph.py PROFILE.folded               # symbolized folded -> stdout
+  flamegraph.py PROFILE.folded -o out.folded # ... -> file (feed to
+                                             #     flamegraph.pl if you
+                                             #     have it; the format is
+                                             #     Brendan Gregg's)
+  flamegraph.py PROFILE.folded --top 10      # self-weight hotspot table
+  flamegraph.py PROFILE.folded --check       # CI smoke: parses, has
+                                             # samples, frames symbolize
+Return-address convention: frames are root-first and the LEAF is the exact
+interrupted PC; every other frame is a return address, so we subtract 1
+before resolving those (the call site, not the instruction after it).
+"""
+import argparse
+import bisect
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+MODULE_RE = re.compile(r"^# module 0x([0-9a-f]+) 0x([0-9a-f]+) (.+)$")
+
+
+class Module:
+    def __init__(self, base, end, path):
+        self.base = base
+        self.end = end
+        self.path = path
+        self.link_base = None  # lazily resolved
+
+    def resolve_link_base(self):
+        """Min PT_LOAD p_vaddr: the address the module was linked at."""
+        if self.link_base is not None:
+            return self.link_base
+        self.link_base = 0
+        try:
+            out = subprocess.run(
+                ["readelf", "-lW", self.path],
+                capture_output=True, text=True, timeout=30,
+            ).stdout
+            vaddrs = [
+                int(m.group(1), 16)
+                for m in re.finditer(r"^\s*LOAD\s+\S+\s+(0x[0-9a-f]+)", out,
+                                     re.M)
+            ]
+            if vaddrs:
+                self.link_base = min(vaddrs)
+        except (OSError, subprocess.TimeoutExpired):
+            pass
+        return self.link_base
+
+
+class Profile:
+    def __init__(self):
+        self.exe = ""
+        self.meta = {}       # hz, period_ns, window_ns, samples, dropped, ...
+        self.modules = []    # sorted by base
+        self.stacks = []     # (key, weight_ns)
+
+    def module_for(self, addr):
+        i = bisect.bisect_right(self._bases, addr) - 1
+        if i >= 0 and self.modules[i].base <= addr < self.modules[i].end:
+            return self.modules[i]
+        return None
+
+    def finish(self):
+        self.modules.sort(key=lambda m: m.base)
+        self._bases = [m.base for m in self.modules]
+
+
+def parse(path):
+    p = Profile()
+    with open(path) as f:
+        first = f.readline()
+        if not first.startswith("# icilk-profile"):
+            raise ValueError("not an icilk-profile folded file: %s" % path)
+        for line in f:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                m = MODULE_RE.match(line)
+                if m:
+                    p.modules.append(Module(int(m.group(1), 16),
+                                            int(m.group(2), 16), m.group(3)))
+                elif line.startswith("# exe "):
+                    p.exe = line[len("# exe "):]
+                else:
+                    for k, v in re.findall(r"(\w+) (\d+)", line):
+                        p.meta[k] = int(v)
+                continue
+            key, _, weight = line.rpartition(" ")
+            if not key:
+                continue
+            p.stacks.append((key, int(weight)))
+    p.finish()
+    return p
+
+
+def symbolize(profile):
+    """Map raw 0x... frames to names. Returns {raw_addr_str: name}."""
+    # Collect, per module, the set of file-relative addresses to resolve.
+    wants = {}  # path -> {vaddr_hex: [raw strings that map to it]}
+    for key, _ in profile.stacks:
+        frames = key.split(";")
+        hex_frames = [f for f in frames if f.startswith("0x")]
+        for idx, f in enumerate(hex_frames):
+            addr = int(f, 16)
+            # All but the leaf (last hex frame) are return addresses.
+            lookup = addr if idx == len(hex_frames) - 1 else addr - 1
+            mod = profile.module_for(lookup)
+            if mod is None:
+                continue
+            vaddr = lookup - mod.base + mod.resolve_link_base()
+            wants.setdefault(mod.path, {}).setdefault(hex(vaddr), []).append(f)
+
+    names = {}
+    addr2line = shutil.which("addr2line")
+    if addr2line is None:
+        return names
+    for path, addrmap in wants.items():
+        if not os.path.exists(path):
+            continue
+        addrs = list(addrmap.keys())
+        try:
+            out = subprocess.run(
+                [addr2line, "-f", "-C", "-e", path],
+                input="\n".join(addrs) + "\n",
+                capture_output=True, text=True, timeout=120,
+            ).stdout.splitlines()
+        except (OSError, subprocess.TimeoutExpired):
+            continue
+        # Output alternates: function name line, file:line line.
+        for i, vaddr in enumerate(addrs):
+            if 2 * i >= len(out):
+                break
+            func = out[2 * i].strip()
+            if not func or func == "??":
+                continue
+            for raw in addrmap[vaddr]:
+                names[raw] = func
+    return names
+
+
+def rewrite_key(key, names):
+    return ";".join(names.get(f, f) for f in key.split(";"))
+
+
+def cmd_fold(profile, names, out):
+    out.write("# icilk-profile v1 folded (symbolized)\n")
+    out.write("# exe %s\n" % profile.exe)
+    out.write("# hz %d period_ns %d window_ns %d\n" % (
+        profile.meta.get("hz", 0), profile.meta.get("period_ns", 0),
+        profile.meta.get("window_ns", 0)))
+    out.write("# samples %d dropped %d offcpu_ns %d\n" % (
+        profile.meta.get("samples", 0), profile.meta.get("dropped", 0),
+        profile.meta.get("offcpu_ns", 0)))
+    merged = {}
+    for key, w in profile.stacks:
+        k = rewrite_key(key, names)
+        merged[k] = merged.get(k, 0) + w
+    for k, w in sorted(merged.items(), key=lambda kv: -kv[1]):
+        out.write("%s %d\n" % (k, w))
+
+
+def cmd_top(profile, names, n, out):
+    """Self-weight ranking: the leaf frame owns each stack's weight."""
+    self_ns = {}
+    total = 0
+    for key, w in profile.stacks:
+        frames = rewrite_key(key, names).split(";")
+        leaf = frames[-1]
+        # Prefix leaves like "steal"/"epoll_wait-bucket" keep their
+        # category for context; symbolized task leaves stand alone.
+        if key.startswith("offcpu;"):
+            leaf = "offcpu:%s" % ";".join(frames[1:])
+        self_ns[leaf] = self_ns.get(leaf, 0) + w
+        total += w
+    out.write("%-8s %-12s %s\n" % ("pct", "self_ms", "frame"))
+    for leaf, ns in sorted(self_ns.items(), key=lambda kv: -kv[1])[:n]:
+        out.write("%-8s %-12.3f %s\n" % (
+            "%.1f%%" % (100.0 * ns / total if total else 0.0),
+            ns / 1e6, leaf))
+
+
+def cmd_check(profile, names):
+    """CI smoke: nonzero samples and a usable symbolization rate."""
+    errs = []
+    if profile.meta.get("samples", 0) == 0:
+        errs.append("no on-CPU samples recorded")
+    raw = sum(1 for k, _ in profile.stacks for f in k.split(";")
+              if f.startswith("0x"))
+    resolved = sum(1 for k, _ in profile.stacks for f in k.split(";")
+                   if f.startswith("0x") and f in names)
+    if raw > 0 and resolved == 0:
+        errs.append("0/%d frames symbolized (addr2line missing or modules "
+                    "unreadable)" % raw)
+    oncpu = [k for k, _ in profile.stacks if k.startswith("oncpu;")]
+    if not oncpu:
+        errs.append("no oncpu stacks")
+    if errs:
+        for e in errs:
+            print("CHECK FAIL: %s" % e, file=sys.stderr)
+        return 1
+    print("CHECK OK: %d samples, %d stacks, %d/%d frames symbolized" % (
+        profile.meta.get("samples", 0), len(profile.stacks), resolved, raw))
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("profile", help="folded file from the icilk profiler")
+    ap.add_argument("-o", "--output", help="write here instead of stdout")
+    ap.add_argument("--top", type=int, metavar="N",
+                    help="print the top-N self-weight frames and exit")
+    ap.add_argument("--check", action="store_true",
+                    help="CI smoke: exit 1 unless samples exist and "
+                         "frames symbolize")
+    args = ap.parse_args()
+
+    profile = parse(args.profile)
+    names = symbolize(profile)
+
+    if args.check:
+        sys.exit(cmd_check(profile, names))
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        if args.top:
+            cmd_top(profile, names, args.top, out)
+        else:
+            cmd_fold(profile, names, out)
+    finally:
+        if args.output:
+            out.close()
+
+
+if __name__ == "__main__":
+    main()

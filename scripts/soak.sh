@@ -28,8 +28,13 @@
 #             (b) micro_watchdog's hook loops cost the same as its plain
 #             baseline loop, and (c) `ctest -L obs` still passes (the
 #             hook-dependent cases skip).
+#   profoff   build with ICILK_PROFILE=OFF and prove the profiler
+#             compile-out: (a) the hot-path objects carry no prof hooks
+#             (context stores, thread registration), (b) micro_profiler's
+#             hook loops cost the same as its plain baseline loop, and
+#             (c) `ctest -L obs` still passes (attribution cases skip).
 #
-# Usage: scripts/soak.sh [tsan|asan|offcheck|attribution|reqoff|wdoff|all] \
+# Usage: scripts/soak.sh [tsan|asan|offcheck|attribution|reqoff|wdoff|profoff|all] \
 #                        [soak-duration-s] [seed]
 set -uo pipefail
 
@@ -271,6 +276,71 @@ run_wdoff_phase() {
   fi
 }
 
+run_profoff_phase() {
+  local dir="$REPO_ROOT/build-soak-profoff"
+  note "profoff: building (ICILK_PROFILE=OFF)"
+  if ! build "$dir" -DICILK_PROFILE=OFF; then
+    fail "profoff build"
+    return
+  fi
+
+  # (a) No profiler machinery in the hot-path objects: the TLS context
+  # accessors and thread-registration hooks must be absent. (The Profiler
+  # class itself stays compiled in icilk_obs — endpoints and tests drive
+  # it — but the runtime/scheduler/reactor objects must not reference it:
+  # "8Profiler" in a hot-path object means a hook survived.)
+  note "profoff: hot-path objects carry no profiler symbols"
+  local objs=(
+    "src/io/CMakeFiles/icilk_io.dir/reactor.cpp.o"
+    "src/core/CMakeFiles/icilk_core.dir/prompt_scheduler.cpp.o"
+    "src/core/CMakeFiles/icilk_core.dir/adaptive_scheduler.cpp.o"
+    "src/core/CMakeFiles/icilk_core.dir/runtime.cpp.o"
+  )
+  local o
+  for o in "${objs[@]}"; do
+    if [ ! -f "$dir/$o" ]; then
+      fail "profoff: missing object $o"
+      continue
+    fi
+    if nm "$dir/$o" | grep -q 'prof_set_context\|prof_context\|prof_register_thread\|prof_unregister_thread\|8Profiler'; then
+      fail "profoff: $o still references profiler symbols:"
+      nm "$dir/$o" | grep 'prof_set_context\|prof_context\|prof_register_thread\|prof_unregister_thread\|8Profiler' | head -5
+    else
+      echo "clean: $o"
+    fi
+  done
+
+  # (b) The hooks folded to nothing: micro_profiler's context-store and
+  # scope loops must cost the same as the plain baseline loop (<1.5x; the
+  # live hooks are TLS stores, ~2-4x on this loop).
+  note "profoff: micro_profiler hooks == baseline"
+  local csv base setctx scope
+  csv="$("$dir/bench/micro_profiler" --benchmark_format=csv \
+        2>/dev/null | tr -d '"')"
+  base="$(echo "$csv" | awk -F, '$1 == "BM_Baseline" {print $4}')"
+  setctx="$(echo "$csv" | awk -F, '$1 == "BM_SetContext" {print $4}')"
+  scope="$(echo "$csv" | awk -F, '$1 == "BM_ProfScope" {print $4}')"
+  echo "BM_Baseline=${base}ns BM_SetContext=${setctx}ns BM_ProfScope=${scope}ns"
+  if [ -z "$base" ] || [ -z "$setctx" ] || [ -z "$scope" ]; then
+    fail "profoff: could not parse micro_profiler output"
+  else
+    if ! awk -v b="$base" -v p="$setctx" 'BEGIN { exit !(p <= b * 1.5) }'; then
+      fail "profoff: set-context loop ${setctx}ns vs baseline ${base}ns (>1.5x)"
+    fi
+    if ! awk -v b="$base" -v p="$scope" 'BEGIN { exit !(p <= b * 1.5) }'; then
+      fail "profoff: prof-scope loop ${scope}ns vs baseline ${base}ns (>1.5x)"
+    fi
+  fi
+
+  # (c) The OFF build still passes the observability tests (rendering and
+  # window mechanics run against the always-compiled class; attribution
+  # and signal cases skip).
+  note "profoff: ctest -L obs (OFF build)"
+  if ! (cd "$dir" && ctest -L obs --output-on-failure -j 2); then
+    fail "profoff ctest -L obs"
+  fi
+}
+
 case "$PHASE" in
   tsan) run_sanitizer_phase tsan thread ;;
   asan) run_sanitizer_phase asan address ;;
@@ -278,6 +348,7 @@ case "$PHASE" in
   attribution) run_attribution_phase ;;
   reqoff) run_reqoff_phase ;;
   wdoff) run_wdoff_phase ;;
+  profoff) run_profoff_phase ;;
   all)
     run_sanitizer_phase tsan thread
     run_sanitizer_phase asan address
@@ -285,9 +356,10 @@ case "$PHASE" in
     run_attribution_phase
     run_reqoff_phase
     run_wdoff_phase
+    run_profoff_phase
     ;;
   *)
-    echo "usage: scripts/soak.sh [tsan|asan|offcheck|attribution|reqoff|wdoff|all] [duration-s] [seed]" >&2
+    echo "usage: scripts/soak.sh [tsan|asan|offcheck|attribution|reqoff|wdoff|profoff|all] [duration-s] [seed]" >&2
     exit 2
     ;;
 esac

@@ -139,6 +139,41 @@ void ICilkMcServer::connection_routine(int fd) {
             } else {
               out += "STAT icilk_wd_dump_ok 0\r\n";
             }
+          } else if (req.keys.size() > 1 && req.keys[1] == "profile") {
+            // `stats icilk profile [seconds] [hz]`: open a profiler
+            // window (this handler task sleeps on the reactor; workers
+            // keep serving), write the merged folded-stack file next to
+            // the flight bundles, and return its path — the dump idiom.
+            long seconds = 2, hz = 0;
+            if (req.keys.size() > 2) {
+              seconds = std::strtol(req.keys[2].c_str(), nullptr, 10);
+            }
+            if (req.keys.size() > 3) {
+              hz = std::strtol(req.keys[3].c_str(), nullptr, 10);
+            }
+            if (seconds < 1) seconds = 1;
+            if (seconds > 120) seconds = 120;
+            obs::Profiler* prof = rt_->profiler();
+            if (prof != nullptr && prof->start(static_cast<int>(hz))) {
+              reactor_->sleep_for(std::chrono::seconds(seconds));
+              const obs::ProfileReport rep = prof->stop();
+              std::string dir = rt_->config().watchdog_bundle_dir;
+              if (dir.empty()) dir = ".";
+              const std::string path = dir + "/icilk_profile_" +
+                                       std::to_string(rep.window_ns) +
+                                       ".folded";
+              const bool wrote = obs::Profiler::write_folded(rep, path);
+              out += std::string("STAT icilk_prof_ok ") +
+                     (wrote ? '1' : '0') + "\r\n";
+              out += "STAT icilk_prof_samples " +
+                     std::to_string(rep.samples) + "\r\n";
+              out += "STAT icilk_prof_dropped " +
+                     std::to_string(rep.dropped) + "\r\n";
+              if (wrote) out += "STAT icilk_prof_path " + path + "\r\n";
+            } else {
+              // Compiled out, or a window is already open.
+              out += "STAT icilk_prof_ok 0\r\n";
+            }
           } else {
             // `stats icilk`: only the scheduler-observability group.
             out += icilk_stats_text();
@@ -319,6 +354,10 @@ std::string ICilkMcServer::health_stats_text() const {
     out += std::string("STAT icilk_wd_compiled_in ") +
            (obs::watchdog_compiled_in() ? "1" : "0") + "\r\n";
   }
+  // Profiler state: rate, window count, and — the reason this line
+  // exists — the dropped-sample counter, so ring overflow under overload
+  // is visible rather than silently biasing profiles.
+  out += obs::prof_health_stats_text(rt_->profiler(), "icilk_", "\r\n");
   return out;
 }
 

@@ -166,6 +166,10 @@ void AdaptiveScheduler::pre_op_check(Worker& w) {
   const int target = assignment_[w.id].load(std::memory_order_relaxed);
   if (target == w.level) return;
 
+  // Reassignment is scheduler overhead even though it runs on the task
+  // fiber; the restored word describes the task (migration-safe).
+  obs::ProfScope prof_scope(obs::ProfBucket::kPreOpCheck,
+                            static_cast<int>(w.level));
   w.stats.abandons++;
   rt_->metrics().count(obs::EventKind::kAbandon, w.level);
   ICILK_TRACE_RECORD(w.trace, obs::EventKind::kAbandon, w.level, 0);
@@ -343,6 +347,7 @@ bool AdaptiveScheduler::greedy_try_get(Worker& w, Priority level) {
 bool AdaptiveScheduler::acquire(Worker& w) {
   obs::wd_publish_state(w.wd_state, obs::WdWorkerState::kStealing,
                         static_cast<int>(w.level));
+  obs::prof_enter_bucket(obs::ProfBucket::kSteal, static_cast<int>(w.level));
   int failed = 0;
   for (;;) {
     if (stop_.load(std::memory_order_acquire)) return false;
@@ -361,6 +366,7 @@ bool AdaptiveScheduler::acquire(Worker& w) {
     }
     if (got) {
       obs::wd_publish_state(w.wd_state, obs::WdWorkerState::kWorking, level);
+      obs::prof_enter_bucket(obs::ProfBucket::kSchedLoop, level);
       w.stats.sched_ticks.add(now_ticks() - t0);
       return true;
     }

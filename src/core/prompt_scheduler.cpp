@@ -300,6 +300,7 @@ bool PromptScheduler::try_get_work(Worker& w, Priority h) {
 bool PromptScheduler::acquire(Worker& w) {
   obs::wd_publish_state(w.wd_state, obs::WdWorkerState::kStealing,
                         static_cast<int>(w.level));
+  obs::prof_enter_bucket(obs::ProfBucket::kSteal, static_cast<int>(w.level));
   int failed_rounds = 0;
   int empty_rounds = 0;  // consecutive all-zero bitfield sightings
   for (;;) {
@@ -333,6 +334,7 @@ bool PromptScheduler::acquire(Worker& w) {
     if (try_get_work(w, h)) {
       rt_->metrics().note_level_acquired(h);
       obs::wd_publish_state(w.wd_state, obs::WdWorkerState::kWorking, h);
+      obs::prof_enter_bucket(obs::ProfBucket::kSchedLoop, h);
       w.stats.sched_ticks.add(now_ticks() - t0);
       return true;
     }
@@ -355,6 +357,7 @@ void PromptScheduler::idle_sleep(Worker& w) {
                      obs::TraceEvent::kNoLevel16, 0);
   obs::wd_publish_state(w.wd_state, obs::WdWorkerState::kSleeping,
                         static_cast<int>(w.level));
+  obs::prof_enter_bucket(obs::ProfBucket::kSleep, static_cast<int>(w.level));
   sleepers_.fetch_add(1, std::memory_order_seq_cst);
   // Bounded wait: the notifier does not hold sleep_mu_ (see set_bit), so
   // a wakeup issued in our check->wait window can be missed; the timeout
@@ -365,6 +368,7 @@ void PromptScheduler::idle_sleep(Worker& w) {
   sleepers_.fetch_sub(1, std::memory_order_seq_cst);
   obs::wd_publish_state(w.wd_state, obs::WdWorkerState::kStealing,
                         static_cast<int>(w.level));
+  obs::prof_enter_bucket(obs::ProfBucket::kSteal, static_cast<int>(w.level));
   ICILK_TRACE_RECORD(w.trace, obs::EventKind::kSleepEnd,
                      obs::TraceEvent::kNoLevel16, 0);
 }
@@ -375,6 +379,12 @@ void PromptScheduler::pre_op_check(Worker& w) {
       (++tls_check_counter % opts_.check_period) != 0) {
     return;
   }
+  // Samples during the check are scheduler overhead, not task work —
+  // even though it runs ON the task fiber. Save/restore: the scope may
+  // span an abandonment park, and the restored word describes the task
+  // (still correct after an abandon→mug migration to another worker).
+  obs::ProfScope prof_scope(obs::ProfBucket::kPreOpCheck,
+                            static_cast<int>(w.level));
   // Crosspoint: MASK the promptness check — the worker behaves as if the
   // bitfield showed nothing above it and keeps working at its current
   // level. This manufactures exactly the violation the watchdog's

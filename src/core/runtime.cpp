@@ -39,6 +39,18 @@ Runtime::Runtime(const RuntimeConfig& cfg, std::unique_ptr<Scheduler> sched)
     workers_[i]->trace =
         &trace_.acquire_ring("worker" + std::to_string(i));
   }
+#if ICILK_PROFILE_ENABLED
+  {
+    // Must exist before the first worker thread runs: worker_main
+    // registers with the profiler in its prologue. Cold until a window
+    // opens (timers are created disarmed).
+    obs::Profiler::Config pc;
+    pc.default_hz = cfg_.profiler_hz;
+    pc.metrics = &metrics_;
+    pc.num_levels = cfg_.num_levels;
+    profiler_ = std::make_unique<obs::Profiler>(pc);
+  }
+#endif
   threads_.reserve(cfg_.num_workers);
   for (int i = 0; i < cfg_.num_workers; ++i) {
     threads_.emplace_back([this, i] { worker_main(*workers_[i]); });
@@ -126,6 +138,11 @@ void Runtime::worker_main(Worker& w) {
   // into the worker's own ring.
   obs::req_set_thread_where(w.id);
   obs::req_set_thread_ring(w.trace);
+  // Sampling profiler: create this worker's (disarmed) SIGPROF timer and
+  // publish the initial attribution word.
+  obs::prof_register_thread(profiler(), obs::ProfThreadKind::kWorker, w.id);
+  obs::prof_enter_bucket(obs::ProfBucket::kSchedLoop,
+                         static_cast<int>(w.level));
   for (;;) {
     if (!w.next.valid()) {
       if (w.active) retire_active(w);
@@ -136,6 +153,8 @@ void Runtime::worker_main(Worker& w) {
     }
     run_next(w);
   }
+  obs::prof_set_context(0);
+  obs::prof_unregister_thread(profiler());
   obs::req_set_thread_ring(nullptr);
   obs::req_set_thread_where(obs::ReqHop::kNoWhere);
   inject::set_thread_trace_ring(nullptr);
@@ -192,10 +211,19 @@ void Runtime::run_next(Worker& w) {
 
   assert(tf->st.priority == w.level);
   obs::req_hook_dispatch(tf->st.req, tf->st.req_owner);
+  // Profiler attribution hand-off (the fiber half of the ASan/TSan-style
+  // switch protocol): samples landing between these two stores belong to
+  // the task at its level, whatever the stack walk bottoms out in.
+  obs::prof_enter_task(
+      static_cast<int>(tf->st.priority),
+      tf->st.req != nullptr ? static_cast<std::uint16_t>(tf->st.req->id)
+                            : std::uint16_t{0});
   w.current = tf;
   const std::uint64_t t0 = now_ticks();
   switch_context(w.sched_ctx, tf->fiber.context());
   w.stats.work_ticks.add(now_ticks() - t0);
+  obs::prof_enter_bucket(obs::ProfBucket::kSchedLoop,
+                         static_cast<int>(w.level));
   obs::req_hook_undispatch();
   w.current = nullptr;
   if (w.post_switch) {

@@ -36,6 +36,7 @@
 #include "core/worker.hpp"
 #include "fiber/stack.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 
@@ -164,6 +165,18 @@ class Runtime {
   const obs::Watchdog* watchdog() const noexcept { return nullptr; }
 #endif
 
+  /// The sampling profiler (src/obs/profiler.hpp). Always constructed
+  /// when built ICILK_PROFILE=ON (it is cold until a window opens);
+  /// nullptr when compiled out, so callers must null-check. Defined in
+  /// both build modes so endpoint/server code compiles unconditionally.
+#if ICILK_PROFILE_ENABLED
+  obs::Profiler* profiler() noexcept { return profiler_.get(); }
+  const obs::Profiler* profiler() const noexcept { return profiler_.get(); }
+#else
+  obs::Profiler* profiler() noexcept { return nullptr; }
+  const obs::Profiler* profiler() const noexcept { return nullptr; }
+#endif
+
   /// Records into the CURRENT thread's worker ring, if this is a worker
   /// thread (no-op elsewhere) — for subsystems like the reactor's
   /// submission path that run on task context.
@@ -248,6 +261,9 @@ class Runtime {
   std::atomic<bool> shutdown_{false};
 #if ICILK_WATCHDOG_ENABLED
   std::unique_ptr<obs::Watchdog> watchdog_;
+#endif
+#if ICILK_PROFILE_ENABLED
+  std::unique_ptr<obs::Profiler> profiler_;
 #endif
 
   StackPool stacks_;

@@ -73,6 +73,13 @@ struct RuntimeConfig {
   /// Install a process-wide SIGUSR2 handler so `kill -USR2 <pid>` dumps a
   /// flight bundle on demand. Only takes effect with watchdog_enabled.
   bool watchdog_sigusr2 = true;
+
+  /// Default SIGPROF sample rate for profiler windows opened without an
+  /// explicit rate (src/obs/profiler.hpp). The profiler itself is always
+  /// constructed when built ICILK_PROFILE=ON but its per-thread timers
+  /// stay disarmed until a window opens (/profile, `stats icilk profile`,
+  /// or bench --profile-out), so this costs nothing at rest.
+  int profiler_hz = 99;
 };
 
 }  // namespace icilk

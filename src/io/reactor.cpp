@@ -469,13 +469,21 @@ void IoReactor::io_thread_main(int thread_idx) {
   // a completion triggers emits its kReqPhase record into this ring.
   obs::req_set_thread_where(-1 - thread_idx);
   obs::req_set_thread_ring(ring);
+  // Sampling profiler: CPU-time timers only tick while this thread runs,
+  // so the wait bucket mostly measures epoll_wait's entry/exit cost.
+  obs::prof_register_thread(rt_.profiler(), obs::ProfThreadKind::kIo,
+                            thread_idx);
   constexpr int kMaxEvents = 128;
   epoll_event events[kMaxEvents];
   while (!stop_.load(std::memory_order_acquire)) {
     // Timers arrive through their shard timerfds, so epoll_wait can block
     // indefinitely; shutdown arrives through the (level-triggered, never
-    // drained on stop) wake eventfd.
+    // drained on stop) wake eventfd. SIGPROF interrupts this wait
+    // un-restarted (the kernel never restarts epoll_wait), hence the
+    // EINTR retry below doubles as the profiled-reactor regression edge.
+    obs::prof_enter_bucket(obs::ProfBucket::kReactorWait);
     const int n = ::epoll_wait(epfd_, events, kMaxEvents, -1);
+    obs::prof_enter_bucket(obs::ProfBucket::kReactorDrain);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -484,6 +492,8 @@ void IoReactor::io_thread_main(int thread_idx) {
       const std::uint64_t d = events[i].data.u64;
       if (d == kWakeMark) {
         if (stop_.load(std::memory_order_acquire)) {
+          obs::prof_set_context(0);
+          obs::prof_unregister_thread(rt_.profiler());
           obs::req_set_thread_ring(nullptr);
           obs::req_set_thread_where(obs::ReqHop::kNoWhere);
           inject::set_thread_trace_ring(nullptr);
@@ -503,6 +513,8 @@ void IoReactor::io_thread_main(int thread_idx) {
                    ring);
     }
   }
+  obs::prof_set_context(0);
+  obs::prof_unregister_thread(rt_.profiler());
   obs::req_set_thread_ring(nullptr);
   obs::req_set_thread_where(obs::ReqHop::kNoWhere);
   inject::set_thread_trace_ring(nullptr);

@@ -104,8 +104,77 @@ void MetricsHttpServer::connection_routine(int fd) {
   untrack(fd);
 }
 
-std::string MetricsHttpServer::respond(const char* req,
-                                       std::size_t len) const {
+namespace {
+
+/// Tiny query-string scan: value of `key` in "a=1&b=2", or `fallback`.
+long query_param(std::string_view query, std::string_view key,
+                 long fallback) {
+  std::size_t at = 0;
+  while (at < query.size()) {
+    std::size_t amp = query.find('&', at);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(at, amp - at);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      long v = 0;
+      bool any = false;
+      for (char c : pair.substr(eq + 1)) {
+        if (c < '0' || c > '9') break;
+        v = v * 10 + (c - '0');
+        any = true;
+      }
+      if (any) return v;
+    }
+    at = amp + 1;
+  }
+  return fallback;
+}
+
+bool query_flag_is(std::string_view query, std::string_view key,
+                   std::string_view want) {
+  std::size_t at = 0;
+  while (at < query.size()) {
+    std::size_t amp = query.find('&', at);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(at, amp - at);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1) == want;
+    }
+    at = amp + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string MetricsHttpServer::profile_body(std::string_view query, bool& ok,
+                                            const char** content_type) {
+  ok = false;
+  obs::Profiler* prof = rt_.profiler();
+  if (prof == nullptr) {
+    return "profiler not compiled in (-DICILK_PROFILE=OFF)\n";
+  }
+  long seconds = query_param(query, "seconds", 2);
+  if (seconds < 1) seconds = 1;
+  if (seconds > 120) seconds = 120;
+  const long hz = query_param(query, "hz", 0);  // 0 = runtime default
+  if (!prof->start(static_cast<int>(hz))) {
+    return "profiler busy: a window is already open\n";
+  }
+  // The handler task parks on a reactor timer for the window; workers
+  // keep serving (and being sampled) the whole time.
+  reactor_->sleep_for(std::chrono::seconds(seconds));
+  const obs::ProfileReport rep = prof->stop();
+  ok = true;
+  if (query_flag_is(query, "format", "json")) {
+    *content_type = "application/json";
+    return obs::Profiler::json_text(rep);
+  }
+  return obs::Profiler::folded_text(rep);
+}
+
+std::string MetricsHttpServer::respond(const char* req, std::size_t len) {
   const std::string_view head(req, len);
   std::string body;
   const char* content_type = "text/plain; charset=utf-8";
@@ -127,18 +196,34 @@ std::string MetricsHttpServer::respond(const char* req,
       body = obs::latency_json(rt_.metrics());
     } else if (path == "/health") {
       content_type = "application/json";
+      std::string wd_body;
       if (const obs::Watchdog* wd = rt_.watchdog()) {
-        body = wd->health_json();
+        wd_body = wd->health_json();
       } else {
         // No sampler running (cfg.watchdog_enabled off, or built
         // ICILK_WATCHDOG=OFF): still answer, so probes don't 404.
-        body = std::string("{\"watchdog\":{\"compiled_in\":") +
-               (obs::watchdog_compiled_in() ? "true" : "false") +
-               ",\"running\":false}}\n";
+        wd_body = std::string("{\"watchdog\":{\"compiled_in\":") +
+                  (obs::watchdog_compiled_in() ? "true" : "false") +
+                  ",\"running\":false}}";
+      }
+      // Splice the profiler fragment into the health document:
+      // {"watchdog":{...},"profiler":{...}}.
+      const std::size_t close = wd_body.rfind('}');
+      body = wd_body.substr(0, close) + ",\"profiler\":" +
+             obs::prof_health_json(rt_.profiler()) + "}\n";
+    } else if (path.rfind("/profile", 0) == 0 &&
+               (path.size() == 8 || path[8] == '?')) {
+      const std::string_view query =
+          path.size() > 9 ? path.substr(9) : std::string_view{};
+      bool ok = false;
+      body = profile_body(query, ok, &content_type);
+      if (!ok) {
+        status = rt_.profiler() == nullptr ? "501 Not Implemented"
+                                           : "409 Conflict";
       }
     } else {
       status = "404 Not Found";
-      body = "try /metrics, /latency or /health\n";
+      body = "try /metrics, /latency, /health or /profile?seconds=N\n";
     }
   }
   char head_buf[256];

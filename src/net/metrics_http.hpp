@@ -6,6 +6,13 @@
 //                     trace-ring drop counters)
 //   GET /latency  ->  latency-attribution JSON (per-level percentiles,
 //                     per-phase breakdown, worst-K retained timelines)
+//   GET /health   ->  watchdog + profiler health JSON
+//   GET /profile?seconds=N[&hz=H][&format=json]
+//                 ->  opens a profiler window for N seconds (the handler
+//                     task sleeps on the reactor, so workers keep
+//                     serving) and returns the merged on-CPU/off-CPU
+//                     collapsed-stack text (or JSON). Windows are
+//                     exclusive; a concurrent request gets 409.
 //
 // The handler routines run as I-Cilk tasks at the runtime's TOP priority
 // level by default, so scrapes keep succeeding while every worker is
@@ -23,6 +30,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 
 #include "concurrent/spinlock.hpp"
 #include "core/runtime.hpp"
@@ -63,7 +71,11 @@ class MetricsHttpServer {
  private:
   void acceptor_routine();
   void connection_routine(int fd);
-  std::string respond(const char* req, std::size_t len) const;
+  // Non-const: /profile opens a profiler window and sleeps the handler
+  // task on the reactor for its duration.
+  std::string respond(const char* req, std::size_t len);
+  std::string profile_body(std::string_view query, bool& ok,
+                           const char** content_type);
   void track(int fd);
   void untrack(int fd);
 

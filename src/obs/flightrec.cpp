@@ -10,6 +10,7 @@
 
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace icilk::obs {
@@ -37,6 +38,7 @@ std::string build_flags_string() {
   flag("reqtrace", true);
 #endif
   flag("watchdog", ICILK_WATCHDOG_ENABLED != 0);
+  flag("profile", ICILK_PROFILE_ENABLED != 0);
 #if defined(__SANITIZE_THREAD__)
   out += " sanitize=thread";
 #elif defined(__SANITIZE_ADDRESS__)
